@@ -1,0 +1,25 @@
+"""Ablation bench (beyond the paper's figures): cost of removing each of
+the accelerator's four motivating design choices."""
+
+from repro.accel.ablation import run_ablations
+from repro.eval.render import render_table
+
+
+def test_design_ablations(once):
+    results = once(run_ablations, "resnet20")
+    rows = [(r.name, f"{r.baseline_ms:.1f}", f"{r.ablated_ms:.1f}", f"{r.slowdown:.2f}x")
+            for r in results]
+    print("\n" + render_table(
+        ["ablation", "baseline ms", "ablated ms", "slowdown"],
+        rows, "Design-choice ablations (ResNet-20, w7a7)",
+    ))
+    by = {r.name: r for r in results}
+    # Each design choice must pay for itself.
+    assert by["no-two-region-dataflow"].slowdown > 1.05
+    assert by["no-flexible-lut"].slowdown > 1.1
+    assert by["no-prng-key-regen"].slowdown >= 1.0
+    assert by["no-se-unit"].slowdown >= 1.0
+    # The dataflow and LUT sizing are the first-order wins (paper §4.3/§3.3).
+    assert max(r.slowdown for r in results) in (
+        by["no-two-region-dataflow"].slowdown, by["no-flexible-lut"].slowdown,
+    )

@@ -1,0 +1,19 @@
+"""Fig. 10: full-system energy consumption and breakdown."""
+
+from repro.eval.figures import fig10, render_fig10
+
+
+def test_fig10_energy_breakdown(once):
+    data = once(fig10)
+    print("\n" + render_fig10())
+    for model, shares in data.items():
+        memory = (
+            shares.get("hbm", 0)
+            + shares.get("scratchpad", 0)
+            + shares.get("register_file", 0)
+        )
+        # Memory access is ~half the energy (paper: "about 50%").
+        assert 0.25 < memory < 0.75, model
+        # Among compute units the FRU consumes the most.
+        compute = {k: shares.get(k, 0) for k in ("fru", "ntt", "automorphism", "se")}
+        assert max(compute, key=compute.get) == "fru", model

@@ -1,0 +1,18 @@
+"""Fig. 11: energy-delay-area product."""
+
+from repro.accel.baselines import edap, table7
+from repro.eval.figures import render_fig11
+
+
+def test_fig11_edap(once):
+    data = once(edap)
+    print("\n" + render_fig11())
+    models = ("lenet", "mnist_cnn", "resnet20", "resnet56")
+    for m in models:
+        best = min(data[a][m] for a in ("craterlake", "ark", "bts", "sharp"))
+        assert data["athena-w7a7"][m] < best, m
+    # EDAP gaps exceed EDP gaps thanks to Athena's area advantage.
+    edp = table7(("resnet20",))
+    edp_ratio = edp["sharp"]["resnet20"] / edp["athena-w7a7"]["resnet20"]
+    edap_ratio = data["sharp"]["resnet20"] / data["athena-w7a7"]["resnet20"]
+    assert edap_ratio > edp_ratio

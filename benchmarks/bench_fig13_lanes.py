@@ -1,0 +1,19 @@
+"""Fig. 13: sensitivity of system performance to per-unit lane counts."""
+
+from repro.accel.sensitivity import lane_sweep
+from repro.eval.figures import render_fig13
+
+
+def test_fig13_lane_sensitivity(once):
+    pts = once(lane_sweep)
+    print("\n" + render_fig13())
+    at256 = {p.unit: p for p in pts if p.lanes == 256}
+    # FRU impacts performance the most; NTT second; SE negligible.
+    assert at256["fru"].delay >= at256["ntt"].delay
+    assert at256["ntt"].delay > at256["automorphism"].delay
+    assert at256["se"].delay < 1.15
+    assert at256["automorphism"].delay >= at256["se"].delay
+    # Normalization sanity: 2048 lanes == baseline.
+    for p in pts:
+        if p.lanes == 2048:
+            assert abs(p.delay - 1.0) < 1e-9

@@ -1,0 +1,18 @@
+"""Fig. 1: Taylor/Chebyshev approximation accuracy vs Delta and order."""
+
+from repro.baselines.approx import sweep
+from repro.eval.figures import render_fig1
+
+
+def test_fig1_approximation_study(once):
+    pts = once(sweep)
+    print("\n" + render_fig1())
+    by = {(p.function, p.method, p.order, p.delta_bits): p.accuracy_bits for p in pts}
+    # Delta = 25 collapses to ~2 bits (the paper's headline observation).
+    assert by[("relu", "chebyshev", 64, 25)] < 4
+    # Larger Delta recovers accuracy; more orders help in plaintext.
+    assert by[("sigmoid", "chebyshev", 64, 35)] > by[("sigmoid", "chebyshev", 64, 25)]
+    assert by[("sigmoid", "chebyshev", 64, None)] > by[("sigmoid", "chebyshev", 4, None)]
+    # A significant gap to the 40-bit ground truth remains, worse for ReLU.
+    assert by[("relu", "chebyshev", 64, 35)] < 20
+    assert by[("relu", "chebyshev", 64, 35)] < by[("sigmoid", "chebyshev", 64, 35)]

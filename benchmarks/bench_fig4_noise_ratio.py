@@ -1,0 +1,16 @@
+"""Fig. 4: per-layer MAC ranges (t rationale) and e_ms error ratios."""
+
+from repro.eval.figures import fig4, render_fig4
+from repro.fhe.params import ATHENA
+
+
+def test_fig4_mac_and_error_ratio(once):
+    layers = once(fig4, "resnet20")
+    print("\n" + render_fig4("resnet20"))
+    # Orange line: t = 65537 holds the max MAC of every layer (w7a7).
+    assert all(2 * s.mac_peak < ATHENA.t for s in layers)
+    # Blue line: error ratios bounded; most layers in the single digits.
+    ratios = [s.error_ratio for s in layers]
+    assert max(ratios) < 0.25
+    small = sum(1 for r in ratios if r < 0.06)
+    assert small >= len(ratios) // 2

@@ -1,0 +1,19 @@
+"""Fig. 9: execution-time breakdown of the Athena accelerator."""
+
+from repro.eval.figures import fig9, render_fig9
+
+
+def test_fig9_execution_breakdown(once):
+    data = once(fig9)
+    print("\n" + render_fig9())
+    for model, shares in data.items():
+        nonlinear = (
+            shares.get("fbs", 0) + shares.get("pooling", 0) + shares.get("softmax", 0)
+        )
+        # The non-linear part dominates, up to ~72%.
+        assert nonlinear > 0.45, model
+        assert nonlinear < 0.90, model
+        # The coefficient-encoded linear part is nearly free.
+        assert shares.get("linear", 0) < 0.05, model
+    # LeNet's max-pooling makes its pooling share the largest of the four.
+    assert data["lenet"]["pooling"] > data["resnet20"].get("pooling", 0)

@@ -1,0 +1,14 @@
+"""Table 1: parameter and size comparison of CNN-under-FHE solutions."""
+
+from repro.eval.tables import render_table1, table1
+
+
+def test_table1_solutions(once):
+    rows = once(table1)
+    print("\n" + render_table1())
+    athena = rows[-1]
+    # Headline claims: 2^15 degree, ~5.6 MiB ciphertext, far below CKKS.
+    assert athena.degree == 1 << 15
+    assert 5.0 * 2**20 < athena.ciphertext_bytes < 6.5 * 2**20
+    ckks = rows[3]
+    assert ckks.ciphertext_bytes / athena.ciphertext_bytes > 3.5

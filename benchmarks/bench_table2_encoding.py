@@ -1,0 +1,24 @@
+"""Table 2: valid-data ratios, Cheetah vs Athena coefficient encoding."""
+
+import pytest
+
+from repro.core.encoding import TABLE2_SHAPES, athena_plan, cheetah_plan
+from repro.eval.tables import render_table2, table2
+
+
+def test_table2_valid_ratios(once):
+    rows = once(table2)
+    print("\n" + render_table2())
+    paper_athena = [0.50, 0.50, 0.25, 0.25, 0.0625, 0.125]
+    for (shape, cheetah, athena), paper in zip(rows, paper_athena):
+        assert athena.valid_ratio > cheetah.valid_ratio
+        # Our principled model matches the paper on 5 of 6 rows (row 5
+        # differs by the batching-accounting factor noted in EXPERIMENTS.md).
+        if shape is not TABLE2_SHAPES[4]:
+            assert athena.valid_ratio == pytest.approx(paper, rel=0.01)
+
+
+def test_table2_first_row_cheetah_matches_paper(once):
+    shape = TABLE2_SHAPES[0]
+    plan = once(cheetah_plan, shape, 4096)
+    assert plan.valid_ratio == pytest.approx(0.25, rel=0.01)  # paper: 25%

@@ -1,0 +1,18 @@
+"""Table 3: computational-complexity comparison, CKKS vs Athena."""
+
+from repro.core.complexity import per_layer_totals, table3
+from repro.eval.tables import render_table3
+
+
+def test_table3_complexity(once):
+    rows = once(table3)
+    print("\n" + render_table3())
+    athena = {r.operation: r.complexity for r in rows if r.solution == "athena"}
+    ckks = {r.operation: r.complexity for r in rows if r.solution == "ckks"}
+    # Athena's conv needs no rotations at all; CKKS conv needs many.
+    assert athena["conv"].hrot == 0
+    assert ckks["conv"].hrot > 0
+    # FBS dominates Athena's op counts (O(t) SMult) — the FRU rationale.
+    assert athena["fbs"].pmult > 100 * athena["conv"].pmult
+    # CMult stays O(sqrt t).
+    assert athena["fbs"].cmult ** 2 <= 2 * 65537

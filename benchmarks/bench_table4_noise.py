@@ -1,0 +1,22 @@
+"""Table 4: per-step noise budget at the Athena parameters."""
+
+import pytest
+
+from repro.core.noise_budget import PAPER_TABLE4, budget_bits, table4
+from repro.eval.tables import render_table4
+from repro.fhe.params import ATHENA
+
+
+def test_table4_noise_budget(once):
+    steps = once(table4, ATHENA)
+    print("\n" + render_table4())
+    ours = {s.step: s.noise_bits for s in steps}
+    # Per-step totals within a few bits of the paper's Table 4.
+    for step, paper in PAPER_TABLE4.items():
+        assert ours[step] == pytest.approx(paper, abs=6), step
+    # FBS dominates the budget, as the paper stresses.
+    assert ours["fbs"] > 0.7 * ours["total"]
+    # Total sits at the budget boundary (worst-case accounting),
+    # within the paper's own ~4-bit overshoot of log2(Delta/2).
+    assert ours["total"] == pytest.approx(PAPER_TABLE4["total"], abs=8)
+    assert budget_bits(ATHENA) == pytest.approx(703, abs=1)

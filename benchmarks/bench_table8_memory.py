@@ -1,0 +1,17 @@
+"""Table 8: on/off-chip memory comparison."""
+
+from repro.accel.configs import ALL_CONFIGS, ATHENA_ACCEL, BASELINES
+from repro.eval.tables import render_table8
+
+
+def test_table8_memory(once):
+    configs = once(lambda: ALL_CONFIGS)
+    print("\n" + render_table8())
+    # Athena needs ~45 MB scratchpad — >= 4x less than every baseline.
+    for cfg in BASELINES:
+        assert cfg.scratchpad_mb / ATHENA_ACCEL.scratchpad_mb >= 4
+    # Its FRU array demands high on-chip bandwidth (second only to BTS).
+    bws = sorted(c.scratchpad_bw_tbs for c in configs)
+    assert ATHENA_ACCEL.scratchpad_bw_tbs == bws[-2]
+    # Everyone shares the same HBM provisioning.
+    assert all(c.hbm_gb == 16 and c.hbm_bw_tbs == 1 for c in configs)

@@ -1,0 +1,21 @@
+"""Table 9: area and power breakdown."""
+
+import pytest
+
+from repro.accel.configs import ARK, ATHENA_ACCEL, SHARP
+from repro.eval.tables import render_table9
+
+
+def test_table9_area_power(once):
+    cfg = once(lambda: ATHENA_ACCEL)
+    print("\n" + render_table9())
+    assert cfg.area_mm2 == pytest.approx(116.4)
+    assert cfg.power_w == pytest.approx(148.1)
+    units = {u.name: u for u in cfg.units}
+    # FRU is the dominant compute unit in both area and power.
+    compute = ("automorphism", "prng", "ntt", "se", "fru")
+    assert max(compute, key=lambda u: units[u].area_mm2) == "fru"
+    assert max(compute, key=lambda u: units[u].power_w) == "fru"
+    # Paper's headline area ratios: 3.59x vs ARK, 1.53x vs SHARP.
+    assert ARK.area_mm2 / cfg.area_mm2 == pytest.approx(3.59, abs=0.05)
+    assert SHARP.area_mm2 / cfg.area_mm2 == pytest.approx(1.53, abs=0.05)

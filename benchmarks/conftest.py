@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the rendered result (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them); the benchmark timing itself measures the cost of regenerating
+the experiment. Heavy experiments run with a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,30 @@
+"""Accelerator comparison: regenerate the paper's headline hardware tables.
+
+Run:  python examples/accelerator_comparison.py
+
+Prints Table 6 (runtime), Table 7 (EDP), Fig. 8 (Athena framework on CKKS
+accelerators), Fig. 9 (execution breakdown), and the Fig. 13 lane-sweep
+summary from the cycle-level simulator.
+"""
+
+from repro.accel import athena_run, render_schedule
+from repro.eval.figures import render_fig8, render_fig9, render_fig13
+from repro.eval.tables import render_table6, render_table7, render_table8
+
+
+def main() -> None:
+    for renderer in (
+        render_table6,
+        render_table7,
+        render_table8,
+        render_fig8,
+        render_fig9,
+        render_fig13,
+    ):
+        print(renderer())
+        print()
+    print(render_schedule(athena_run("resnet20")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP-517 editable
+installs fail; `pip install -e . --no-use-pep517 --no-build-isolation`
+(or plain `pip install -e .` on newer toolchains) goes through here.
+"""
+
+from setuptools import setup
+
+setup()

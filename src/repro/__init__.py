@@ -1,0 +1,13 @@
+"""Athena reproduction: quantized CNN inference under FHE + accelerator sim.
+
+Subpackages:
+
+* :mod:`repro.fhe` — BFV/LWE/CKKS cryptographic substrate
+* :mod:`repro.quant` — quantized CNN training/inference framework
+* :mod:`repro.data` — synthetic dataset generators
+* :mod:`repro.core` — the Athena five-step inference framework
+* :mod:`repro.accel` — cycle-level accelerator simulator and baselines
+* :mod:`repro.eval` — per-table / per-figure experiment drivers
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,98 @@
+"""Sensitivity analyses (paper §5.6, Figures 12 and 13).
+
+* :func:`lane_sweep` — scale one compute unit's parallelism from 256 to
+  2048 lanes while holding the rest at full size, and report delay /
+  energy / EDP / EDAP normalized to the full configuration (Fig. 13).
+* :func:`precision_sweep_perf` — runtime across quantization precisions
+  w4a4..w8a8 via the flexible-LUT size (Fig. 12's performance half; the
+  accuracy half lives in repro.eval.fig12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.accel.baselines import calibrated_athena, reference_athena_trace
+from repro.accel.configs import AcceleratorConfig
+from repro.accel.energy import energy_for
+from repro.accel.scheduler import schedule
+
+#: The four units Fig. 13 scales, and how each maps onto config fields.
+SWEEP_UNITS = ("ntt", "fru", "automorphism", "se")
+
+#: Quantization precisions of Fig. 12 and the plaintext-modulus cap each
+#: implies for the flexible LUT (MAC range scales ~4x per extra w+a bit).
+PRECISION_T_CAP = {
+    "w4a4": 1 << 10,
+    "w5a5": 1 << 12,
+    "w6a6": 1 << 13,
+    "w6a7": 1 << 14,
+    "w7a7": 1 << 16,
+    "w8a8": 1 << 17,
+}
+
+
+def _scaled_config(cfg: AcceleratorConfig, unit: str, lanes: int) -> AcceleratorConfig:
+    frac = lanes / cfg.lanes
+    if unit == "ntt":
+        return replace(cfg, ntt_butterflies=max(1, int(cfg.ntt_butterflies * frac)))
+    if unit == "fru":
+        return replace(
+            cfg,
+            mod_mul_tput=max(1, int(cfg.mod_mul_tput * frac)),
+            mod_add_tput=max(1, int(cfg.mod_add_tput * frac)),
+            rnsconv_tput=max(1, int(cfg.rnsconv_tput * frac)),
+        )
+    if unit == "automorphism":
+        return replace(cfg, automorph_tput=max(1, int(cfg.automorph_tput * frac)))
+    if unit == "se":
+        return replace(cfg, extract_tput=max(1e-3, cfg.extract_tput * frac))
+    raise KeyError(f"unknown sweep unit {unit!r}")
+
+
+@dataclass
+class SweepPoint:
+    unit: str
+    lanes: int
+    delay: float  # normalized to the 2048-lane configuration
+    energy: float
+    edp: float
+    edap: float
+
+
+def lane_sweep(
+    model: str = "resnet20",
+    lane_points: tuple[int, ...] = (256, 512, 1024, 2048),
+) -> list[SweepPoint]:
+    """Fig. 13: per-unit lane scaling, normalized to full parallelism."""
+    trace = reference_athena_trace(model)
+    base_cfg = calibrated_athena()
+    base = schedule(trace, base_cfg)
+    base_energy = energy_for(base, base_cfg)
+    out: list[SweepPoint] = []
+    for unit in SWEEP_UNITS:
+        for lanes in lane_points:
+            cfg = _scaled_config(base_cfg, unit, lanes)
+            res = schedule(trace, cfg)
+            en = energy_for(res, cfg)
+            out.append(
+                SweepPoint(
+                    unit=unit,
+                    lanes=lanes,
+                    delay=res.total_ms / base.total_ms,
+                    energy=en.energy_j / base_energy.energy_j,
+                    edp=en.edp / base_energy.edp,
+                    edap=en.edp * cfg.area_mm2 / (base_energy.edp * base_cfg.area_mm2),
+                )
+            )
+    return out
+
+
+def precision_sweep_perf(model: str = "resnet20") -> dict[str, float]:
+    """Fig. 12 (performance): runtime (ms) per quantization precision."""
+    cfg = calibrated_athena()
+    out: dict[str, float] = {}
+    for label, cap in PRECISION_T_CAP.items():
+        trace = reference_athena_trace(model, t_cap=cap)
+        out[label] = schedule(trace, cfg).total_ms
+    return out

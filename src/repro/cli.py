@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``params [name]``          — show parameter sets (sizes, security).
+* ``experiment <id> [...]``  — regenerate a paper table/figure by id
+                               (``table1``..``table9``, ``fig1``..``fig13``).
+* ``train <model>``          — train + quantize a benchmark into the zoo.
+* ``infer <model>``          — encrypted-pipeline inference on test images.
+* ``ablation``               — accelerator design-choice ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.fhe.params import PRESETS, get_params
+    from repro.fhe.security import check_params
+
+    names = [args.name] if args.name else sorted(PRESETS)
+    for name in names:
+        p = get_params(name)
+        sec = check_params(p)
+        print(p.describe())
+        print(
+            f"    security: RLWE {sec['rlwe_bits']:.0f} bits, "
+            f"LWE {sec['lwe_bits']:.0f} bits"
+        )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": "render_table1",
+    "table2": "render_table2",
+    "table3": "render_table3",
+    "table4": "render_table4",
+    "table5": "render_table5",
+    "table6": "render_table6",
+    "table7": "render_table7",
+    "table8": "render_table8",
+    "table9": "render_table9",
+    "fig1": "render_fig1",
+    "fig4": "render_fig4",
+    "fig8": "render_fig8",
+    "fig9": "render_fig9",
+    "fig10": "render_fig10",
+    "fig11": "render_fig11",
+    "fig12": "render_fig12",
+    "fig13": "render_fig13",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.eval as ev
+
+    if args.id == "all":
+        ids = list(_EXPERIMENTS)
+    elif args.id in _EXPERIMENTS:
+        ids = [args.id]
+    else:
+        print(f"unknown experiment {args.id!r}; options: "
+              f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    for exp in ids:
+        print(getattr(ev, _EXPERIMENTS[exp])())
+        print()
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.eval.zoo import get_benchmark
+
+    entry = get_benchmark(args.model, seed=args.seed, refresh=args.refresh)
+    print(f"{args.model}: float accuracy {entry.float_accuracy * 100:.2f}%")
+    for label, qm in entry.quantized.items():
+        acc = qm.accuracy(entry.data["x_test"], entry.data["y_test"])
+        print(f"  {label}: plain-quant accuracy {acc * 100:.2f}%, "
+              f"max |MAC| {qm.max_mac()}, fits t: {qm.check_t()}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.core.inference import SimulatedAthenaEngine
+    from repro.eval.zoo import get_benchmark
+    from repro.fhe.params import ATHENA
+
+    entry = get_benchmark(args.model, seed=args.seed)
+    qm = entry.quantized[args.mode]
+    engine = SimulatedAthenaEngine(qm, ATHENA, seed=args.seed + 1)
+    x = entry.data["x_test"][: args.count]
+    y = entry.data["y_test"][: args.count]
+    plain = qm.accuracy(x, y)
+    cipher = engine.accuracy(x, y)
+    print(f"{args.model} ({args.mode}), {len(x)} images")
+    print(f"  plain-quant accuracy : {plain * 100:.2f}%")
+    print(f"  ciphertext accuracy  : {cipher * 100:.2f}%")
+    print(f"  gap                  : {(cipher - plain) * 100:+.2f}%")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.accel.ablation import run_ablations
+    from repro.eval.render import render_table
+
+    results = run_ablations(args.model)
+    rows = [(r.name, f"{r.baseline_ms:.1f}", f"{r.ablated_ms:.1f}",
+             f"{r.slowdown:.2f}x") for r in results]
+    print(render_table(["ablation", "baseline ms", "ablated ms", "slowdown"],
+                       rows, f"Design ablations ({args.model})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Athena reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("params", help="show FHE parameter sets")
+    p.add_argument("name", nargs="?", help="preset name (default: all)")
+    p.set_defaults(func=_cmd_params)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="table1..table9, fig1..fig13, or 'all'")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("train", help="train + quantize a benchmark model")
+    p.add_argument("model", choices=["mnist_cnn", "lenet", "resnet20", "resnet56"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--refresh", action="store_true", help="ignore the cache")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("infer", help="encrypted-pipeline inference")
+    p.add_argument("model", choices=["mnist_cnn", "lenet", "resnet20", "resnet56"])
+    p.add_argument("--mode", default="w7a7", choices=["w7a7", "w6a7"])
+    p.add_argument("--count", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_infer)
+
+    p = sub.add_parser("ablation", help="accelerator design ablations")
+    p.add_argument("--model", default="resnet20")
+    p.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""The Athena five-step loop on real ciphertexts (paper Fig. 2).
+
+:class:`AthenaPipeline` wires the whole substrate together:
+
+  Step 1  linear layer     — coefficient-encoded PMult (repro.core.encoding)
+  Step 2  modulus switch   — Q -> q' noise refresh (repro.fhe.lwe)
+  Step 3  sample extract   — RLWE -> LWE at the valid output coefficients,
+                             then LWE dimension switch N -> n and the final
+                             switch down to t
+  Step 4  packing          — LWE -> RLWE slots via homomorphic decryption
+  Step 5  FBS              — LUT polynomial evaluated on all slots at once
+  (loop)  S2C              — slots back to coefficients for the next layer
+
+This runs at *reduced* parameters (pure-Python crypto); the test suite uses
+it to validate that the fast simulated engine's noise injection matches
+real-ciphertext behaviour. Parameter sets must satisfy 2N | t-1 and carry
+enough modulus for one full FBS depth (see ``TEST_LOOP`` in params).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe import lwe as lwelib
+from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
+from repro.fhe.fbs import FbsCost, FbsLut, fbs_evaluate
+from repro.fhe.packing import PackingKey, pack_lwe
+from repro.fhe.params import FheParams
+from repro.fhe.s2c import S2CKey, slot_to_coeff
+from repro.utils.sampling import Sampler
+
+
+@dataclass
+class LoopCost:
+    """Operation counts of one full Athena loop (drives the trace model)."""
+
+    pmult: int = 0
+    hadd: int = 0
+    extractions: int = 0
+    fbs: FbsCost = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.fbs is None:
+            self.fbs = FbsCost()
+
+
+class AthenaPipeline:
+    """All keys + the five-step loop for one parameter set."""
+
+    def __init__(self, params: FheParams, seed: int = 0, ks_base_bits: int = 7):
+        self.params = params
+        self.ctx = BfvContext(params, seed=seed)
+        self.sk, self.pk = self.ctx.keygen()
+        self.rlk = self.ctx.relin_key(self.sk)
+        sampler = Sampler(seed + 1, sigma=params.sigma)
+        self.lwe_secret = sampler.ternary(params.lwe_n)
+        self.lwe_ksk = lwelib.keyswitch_keygen(
+            self.sk.coeffs, self.lwe_secret, params.lwe_q, ks_base_bits, sampler
+        )
+        self.packing_key = PackingKey.generate(self.ctx, self.lwe_secret, self.sk, self.pk)
+        self.s2c_key = S2CKey.generate(self.ctx, self.sk)
+
+    # -- I/O -----------------------------------------------------------------
+
+    def encrypt_coeffs(self, values: np.ndarray) -> BfvCiphertext:
+        return self.ctx.encrypt(Plaintext.from_coeffs(values, self.params), self.pk)
+
+    def decrypt_coeffs(self, ct: BfvCiphertext) -> np.ndarray:
+        return self.ctx.decrypt(ct, self.sk).coeffs
+
+    def decrypt_slots(self, ct: BfvCiphertext) -> np.ndarray:
+        return self.ctx.decrypt(ct, self.sk).to_slots()
+
+    # -- Step 1: linear layer ---------------------------------------------------
+
+    def linear(
+        self, ct: BfvCiphertext, kernel_coeffs: np.ndarray, cost: LoopCost | None = None
+    ) -> BfvCiphertext:
+        """Coefficient-encoded convolution/FC: one plaintext multiplication."""
+        out = self.ctx.pmult(ct, Plaintext.from_coeffs(kernel_coeffs, self.params))
+        if cost:
+            cost.pmult += 1
+        return out
+
+    def accumulate(self, cts: list[BfvCiphertext], cost: LoopCost | None = None) -> BfvCiphertext:
+        acc = cts[0]
+        for ct in cts[1:]:
+            acc = self.ctx.add(acc, ct)
+            if cost:
+                cost.hadd += 1
+        return acc
+
+    # -- Steps 2-3: noise control + conversion -------------------------------------
+
+    def refresh_to_lwe(
+        self,
+        ct: BfvCiphertext,
+        positions: np.ndarray | None = None,
+        cost: LoopCost | None = None,
+    ) -> lwelib.LweBatch:
+        """Modulus switch, extract the valid coefficients, switch dimension
+        and modulus down to t. Resulting messages sit at Delta = 1."""
+        small = lwelib.rlwe_mod_switch(ct, self.params.lwe_q)
+        batch = lwelib.sample_extract(small, positions)
+        if cost:
+            cost.extractions += batch.count
+        switched = lwelib.keyswitch(batch, self.lwe_ksk)
+        return lwelib.lwe_mod_switch(switched, self.params.t)
+
+    # -- Steps 4-5: packing + FBS ---------------------------------------------------
+
+    def bootstrap(
+        self, batch: lwelib.LweBatch, lut: FbsLut, cost: LoopCost | None = None
+    ) -> BfvCiphertext:
+        """Pack LWE ciphertexts into slots and evaluate the LUT polynomial."""
+        packed = pack_lwe(self.ctx, batch, self.packing_key)
+        return fbs_evaluate(self.ctx, packed, lut, self.rlk, cost.fbs if cost else None)
+
+    # -- loop closure -------------------------------------------------------------
+
+    def to_coeffs(self, ct: BfvCiphertext) -> BfvCiphertext:
+        """S2C: prepare the FBS output for the next coefficient-encoded layer."""
+        return slot_to_coeff(self.ctx, ct, self.s2c_key)
+
+    def loop(
+        self,
+        ct: BfvCiphertext,
+        kernel_coeffs: np.ndarray,
+        lut: FbsLut,
+        positions: np.ndarray,
+        cost: LoopCost | None = None,
+        s2c: bool = True,
+    ) -> BfvCiphertext:
+        """One complete five-step round: Conv -> refresh -> FBS [-> S2C]."""
+        if positions.shape[0] > self.params.n:
+            raise ParameterError("more outputs than slots")
+        out = self.linear(ct, kernel_coeffs, cost)
+        batch = self.refresh_to_lwe(out, positions, cost)
+        boot = self.bootstrap(batch, lut, cost)
+        return self.to_coeffs(boot) if s2c else boot

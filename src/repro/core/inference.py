@@ -1,0 +1,273 @@
+"""Athena inference engines.
+
+:class:`SimulatedAthenaEngine` executes the five-step Athena loop on a
+quantized model with *functionally exact* integer arithmetic — the same
+MACs, the same mod-t wrap, the same LUTs as the encrypted pipeline — while
+injecting the FHE-induced perturbation from the analytic noise model of
+paper §3.3 (the e_ms distribution, validated against the real backend at
+small parameters in the test suite). This is what makes ResNet-20/56-scale
+accuracy experiments tractable in Python (DESIGN.md substitution #3).
+
+The engine also records per-layer statistics: the error ratio Fig. 4 plots
+(fraction of LUT outputs flipped by noise), the MAC peaks Fig. 4's orange
+line plots, and the LUT-evaluation counts the accelerator trace consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import lut as lutlib
+from repro.fhe.fbs import FbsLut
+from repro.fhe.params import ATHENA, FheParams
+from repro.quant import nn
+from repro.quant.quantize import (
+    QAvgPool,
+    QConv,
+    QFlatten,
+    QGlobalAvgPool,
+    QLinear,
+    QMaxPool,
+    QResidual,
+    QuantizedModel,
+    _int_conv,
+    _wrap_t,
+)
+
+
+@dataclass
+class AthenaNoiseModel:
+    """The e_ms perturbation of §3.3: N(0, (t*sigma/Q)^2 + (||s||^2+1)/12).
+
+    The dimension switch N -> n happens *before* the final modulus switch
+    (paper §3.2.2 / our lwe chain), so the rounding term uses the small
+    LWE secret's norm: ``secret_norm_sq`` defaults to the expected ternary
+    norm 2n/3 (std ~10.7 at n = 2048 — the paper's "about 4 bits", and the
+    value the real backend measures in the framework tests). Set
+    ``enabled=False`` for a noise-free run.
+    """
+
+    params: FheParams = ATHENA
+    ct_sigma: float = 3.2
+    secret_norm_sq: float | None = None
+    enabled: bool = True
+
+    @property
+    def std(self) -> float:
+        norm_sq = (
+            self.secret_norm_sq
+            if self.secret_norm_sq is not None
+            else 2 * self.params.lwe_n / 3
+        )
+        scaled = (self.params.t * self.ct_sigma / self.params.q) ** 2
+        return math.sqrt(scaled + (norm_sq + 1) / 12.0)
+
+    def sample(self, rng: np.random.Generator, shape) -> np.ndarray:
+        if not self.enabled:
+            return np.zeros(shape, dtype=np.int64)
+        return np.rint(rng.normal(0.0, self.std, shape)).astype(np.int64)
+
+
+@dataclass
+class LayerStat:
+    """Per-LUT-layer record for Fig. 4 and the execution trace."""
+
+    name: str
+    mac_peak: int = 0
+    lut_evals: int = 0
+    flipped: int = 0
+    total: int = 0
+
+    @property
+    def error_ratio(self) -> float:
+        return self.flipped / self.total if self.total else 0.0
+
+
+@dataclass
+class InferenceStats:
+    layers: list[LayerStat] = field(default_factory=list)
+
+    def layer(self, name: str) -> LayerStat:
+        stat = LayerStat(name)
+        self.layers.append(stat)
+        return stat
+
+    @property
+    def total_lut_evals(self) -> int:
+        return sum(s.lut_evals for s in self.layers)
+
+    @property
+    def max_error_ratio(self) -> float:
+        return max((s.error_ratio for s in self.layers), default=0.0)
+
+
+class SimulatedAthenaEngine:
+    """Runs a :class:`QuantizedModel` through the Athena pipeline."""
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        params: FheParams = ATHENA,
+        seed: int = 0,
+        noise: AthenaNoiseModel | None = None,
+    ):
+        self.model = model
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.noise = noise if noise is not None else AthenaNoiseModel(params)
+        self._luts: dict[int, FbsLut] = {}
+        self._relu = lutlib.relu_lut(params.t)
+
+    # -- LUT cache ---------------------------------------------------------
+
+    def _lut(self, layer) -> FbsLut:
+        key = id(layer)
+        got = self._luts.get(key)
+        if got is None:
+            got = lutlib.layer_lut(layer, self.model.config, self.params.t)
+            self._luts[key] = got
+        return got
+
+    # -- main entry ----------------------------------------------------------
+
+    def infer(self, x: np.ndarray, stats: InferenceStats | None = None) -> np.ndarray:
+        """Encrypted-pipeline-faithful inference; returns integer logits."""
+        stats = stats if stats is not None else InferenceStats()
+        x_q = self.model.quantize_input(x)
+        return self._run(self.model.layers, x_q, stats)
+
+    def infer_with_stats(self, x: np.ndarray) -> tuple[np.ndarray, InferenceStats]:
+        stats = InferenceStats()
+        out = self.infer(x, stats)
+        return out, stats
+
+    def infer_probs(self, x: np.ndarray) -> np.ndarray:
+        """Encrypted softmax (paper §3.2.3): exp LUT, reciprocal LUT of the
+        sum, one CMult — with e_ms perturbation on both LUT rounds."""
+        logits = self.infer(x)
+        tail_scale = self._final_scale()
+        exp_lut, inv_lut, inv_levels = lutlib.softmax_luts(
+            self.params.t, in_scale=tail_scale
+        )
+        t = self.params.t
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        noisy = _wrap_t(shifted + self.noise.sample(self.rng, shifted.shape), t)
+        e = exp_lut.apply_plain_signed(noisy)
+        total = e.sum(axis=-1, keepdims=True)
+        total_noisy = _wrap_t(total + self.noise.sample(self.rng, total.shape), t)
+        r = inv_lut.apply_plain_signed(total_noisy)
+        probs = (e * r).astype(np.float64)  # the ciphertext-ciphertext mult
+        denom = probs.sum(axis=-1, keepdims=True)
+        denom[denom == 0] = 1.0
+        return probs / denom
+
+    def _final_scale(self) -> float:
+        from repro.quant.quantize import QLinear
+
+        for layer in reversed(self.model.layers):
+            if isinstance(layer, QLinear):
+                return layer.out_scale
+        return 1.0
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch: int = 128) -> float:
+        correct = 0
+        for s in range(0, x.shape[0], batch):
+            logits = self.infer(x[s : s + batch])
+            correct += int((logits.argmax(axis=1) == y[s : s + batch]).sum())
+        return correct / x.shape[0]
+
+    # -- layer execution -------------------------------------------------------
+
+    def _apply_lut(
+        self, mac: np.ndarray, lut: FbsLut, stat: LayerStat
+    ) -> np.ndarray:
+        """Steps 2-5 of the loop: noise refresh chain + FBS, on integers.
+
+        The flip statistic (Fig. 4's blue line) is scale-aware: a deviation
+        counts once it reaches one LSB of the *activation* (int-a) domain,
+        so wide intermediate remaps aren't reported as spuriously noisy.
+        """
+        t = self.params.t
+        wrapped = _wrap_t(mac, t)
+        noisy = _wrap_t(wrapped + self.noise.sample(self.rng, mac.shape), t)
+        out = lut.apply_plain_signed(noisy)
+        clean = lut.apply_plain_signed(wrapped)
+        out_range = int(np.abs(lut.apply_plain_signed(np.arange(t))).max())
+        threshold = max(1, out_range // (2 * self.model.config.a_max + 1))
+        stat.mac_peak = max(stat.mac_peak, int(np.abs(mac).max()))
+        stat.lut_evals += mac.size
+        stat.flipped += int((np.abs(out - clean) >= threshold).sum())
+        stat.total += mac.size
+        return out
+
+    def _run(self, layers, x_q: np.ndarray, stats: InferenceStats) -> np.ndarray:
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            nxt = layers[i + 1] if i + 1 < len(layers) else None
+            if isinstance(layer, QConv):
+                mac = _int_conv(x_q, layer)
+                if isinstance(nxt, QMaxPool):
+                    # Max-pool in the MAC domain: the remap LUT is monotone,
+                    # so pool-then-remap equals remap-then-pool exactly —
+                    # but MAC-scale values tolerate e_ms, int7 values do not.
+                    mac = self._maxpool(mac, nxt, stats.layer("maxpool"))
+                    i += 1
+                x_q = self._apply_lut(mac, self._lut(layer), stats.layer("conv"))
+            elif isinstance(layer, QLinear):
+                mac = x_q @ layer.weight.T + layer.bias
+                x_q = self._apply_lut(mac, self._lut(layer), stats.layer("fc"))
+            elif isinstance(layer, QMaxPool):
+                x_q = self._maxpool(x_q, layer, stats.layer("maxpool"))
+            elif isinstance(layer, QAvgPool):
+                cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+                b, c = x_q.shape[0], x_q.shape[1]
+                total = cols.reshape(b, oh, ow, c, layer.kernel**2).sum(axis=-1)
+                out = self._apply_lut(total, self._lut(layer), stats.layer("avgpool"))
+                x_q = out.transpose(0, 3, 1, 2)
+            elif isinstance(layer, QGlobalAvgPool):
+                total = x_q.sum(axis=(2, 3))
+                x_q = self._apply_lut(total, self._lut(layer), stats.layer("gap"))
+            elif isinstance(layer, QFlatten):
+                x_q = x_q.reshape(x_q.shape[0], -1)
+            elif isinstance(layer, QResidual):
+                main = self._run(layer.body, x_q, stats)
+                skip = self._run(layer.shortcut, x_q, stats) if layer.shortcut else x_q
+                # skip_alpha is a noise-free ciphertext SMult (exact).
+                x_q = self._apply_lut(
+                    main + skip * layer.skip_alpha,
+                    self._lut(layer),
+                    stats.layer("residual-add"),
+                )
+            else:  # pragma: no cover
+                raise TypeError(f"unknown IR node {type(layer).__name__}")
+            i += 1
+        return x_q
+
+    def _maxpool(self, x_q: np.ndarray, layer: QMaxPool, stat: LayerStat) -> np.ndarray:
+        """Max-tree pooling: each pairwise max is one perturbed ReLU FBS."""
+        t = self.params.t
+        cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+        b, c = x_q.shape[0], x_q.shape[1]
+        vals = cols.reshape(b, oh, ow, c, layer.kernel**2)
+        while vals.shape[-1] > 1:
+            n = vals.shape[-1]
+            half = n // 2
+            a = vals[..., :half]
+            bb = vals[..., half : 2 * half]
+            diff = _wrap_t(a - bb, t)
+            noisy = _wrap_t(diff + self.noise.sample(self.rng, diff.shape), t)
+            relu_out = self._relu.apply_plain_signed(noisy)
+            # Only the eval count is recorded here: a perturbed ReLU on a
+            # MAC-scale difference shifts the selected maximum by ~e_ms,
+            # which the downstream remap LUT absorbs — counting raw output
+            # differences would wildly overstate the Fig. 4 error ratio.
+            stat.lut_evals += diff.size
+            merged = bb + relu_out
+            if n % 2:
+                merged = np.concatenate([merged, vals[..., -1:]], axis=-1)
+            vals = merged
+        return vals[..., 0].transpose(0, 3, 1, 2)

@@ -1,0 +1,103 @@
+"""Evaluation-key inventory and sizing for an Athena deployment.
+
+The paper's Table 1 lists 720 MB of "rot+relin" key material. This module
+derives the concrete inventory our pipeline needs — which Galois elements
+the packing and S2C mat-vecs use, the relinearization key, and the LWE
+keyswitch key — and sizes it under a given gadget configuration, with and
+without seed compression (PRNG regeneration of the uniform halves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fhe import slots as slotlib
+from repro.fhe.params import ATHENA, FheParams
+
+
+@dataclass(frozen=True)
+class KeyInventory:
+    params: FheParams
+    rotation_amounts: tuple[int, ...]
+    galois_elements: tuple[int, ...]
+    ksk_digits: int
+
+    @property
+    def num_galois_keys(self) -> int:
+        return len(self.galois_elements)
+
+    def galois_key_bytes(self, seed_compressed: bool = True) -> int:
+        per_digit = 2 * self.params.n * self.params.q.bit_length() // 8
+        if seed_compressed:
+            per_digit //= 2  # the uniform half regenerates from a seed
+        return self.ksk_digits * per_digit
+
+    def relin_key_bytes(self, seed_compressed: bool = True) -> int:
+        return self.galois_key_bytes(seed_compressed)
+
+    def lwe_ksk_bytes(self, seed_compressed: bool = True) -> int:
+        p = self.params
+        digits = -(-p.lwe_q.bit_length() // 7)
+        if seed_compressed:
+            # the alpha vectors regenerate from a PRNG seed; only betas ship
+            return p.n * digits * 4
+        return p.n * digits * (p.lwe_n + 1) * 4
+
+    def total_bytes(self, seed_compressed: bool = True) -> int:
+        return (
+            self.num_galois_keys * self.galois_key_bytes(seed_compressed)
+            + self.relin_key_bytes(seed_compressed)
+            + self.lwe_ksk_bytes(seed_compressed)
+        )
+
+
+def baby_giant_amounts(dim: int, baby: int | None = None) -> set[int]:
+    """Rotation amounts a BSGS pass over ``dim`` diagonals uses."""
+    baby = baby or max(1, math.isqrt(dim))
+    giant = -(-dim // baby)
+    amounts = set(range(1, baby))
+    amounts |= {g * baby for g in range(1, giant)}
+    return amounts
+
+
+def build_inventory(params: FheParams = ATHENA, ksk_digit_bits: int | None = None) -> KeyInventory:
+    """Collect every Galois element the five-step loop can request."""
+    half = params.n // 2
+    amounts: set[int] = set()
+    # Packing mat-vec: BSGS over the (replicated) LWE dimension.
+    amounts |= baby_giant_amounts(min(params.lwe_n, half))
+    # S2C passes: BSGS over the full row length.
+    amounts |= baby_giant_amounts(half)
+    elements = {
+        slotlib.rotation_galois_element(params.n, a) for a in amounts if a % (half) != 0
+    }
+    elements.add(slotlib.row_swap_element(params.n))
+    digit_bits = ksk_digit_bits or params.decomp_bits
+    digits = -(-params.q.bit_length() // digit_bits)
+    return KeyInventory(
+        params,
+        tuple(sorted(amounts)),
+        tuple(sorted(elements)),
+        digits,
+    )
+
+
+def summarize(params: FheParams = ATHENA, dnum: int = 3) -> dict[str, float]:
+    """Key sizing under hybrid keyswitching with ``dnum`` digits (the
+    accelerator-style configuration, far fewer digits than bit-level
+    gadgets) — the regime in which the paper's ~720 MB figure lives."""
+    inv = build_inventory(params)
+    per_key = dnum * 2 * params.n * params.q.bit_length() // 8 // 2  # seeded
+    total = (inv.num_galois_keys + 1) * per_key + inv.lwe_ksk_bytes()
+    return {
+        "galois_keys": inv.num_galois_keys,
+        "per_key_mb": per_key / 2**20,
+        "lwe_ksk_mb": inv.lwe_ksk_bytes() / 2**20,
+        "total_mb": total / 2**20,
+    }
+
+
+def athena_key_material_bytes(params: FheParams = ATHENA) -> int:
+    """Headline key-material figure used in the Table 1 reproduction."""
+    return int(summarize(params)["total_mb"] * 2**20)

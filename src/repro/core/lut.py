@@ -1,0 +1,185 @@
+"""LUT construction: quantized-layer remapping merged with activations.
+
+Athena's key idea (paper §3.2.3): every non-linearity *and* the
+re-quantization step is one table lookup over Z_t,
+
+    LUT(x) = clip(round(act(x * scale_in * scale_w) / scale_out))
+
+evaluated under FHE by functional bootstrapping. This module builds those
+tables from the quantized IR so that the encrypted pipeline and the
+plaintext integer pipeline share literally the same table — any output
+difference between them is then attributable to FHE noise alone.
+
+Also provided: generic activation tables (ReLU / sigmoid / GELU / ...), the
+average-pool division table, the max-tree helper for max-pooling, and the
+two-step softmax tables (exp and reciprocal-of-sum), all per §3.2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fhe.fbs import FbsLut
+from repro.quant.quantize import (
+    QAvgPool,
+    QConv,
+    QGlobalAvgPool,
+    QLinear,
+    QResidual,
+    QuantConfig,
+)
+
+
+def _centered_domain(t: int) -> np.ndarray:
+    raw = np.arange(t, dtype=np.int64)
+    return np.where(raw > t // 2, raw - t, raw)
+
+
+def remap_lut(
+    multiplier: float, activation: str, a_max: int, t: int, name: str = ""
+) -> FbsLut:
+    """LUT(x) = clip(round(act(x) * multiplier), -a_max, a_max) over Z_t."""
+    x = _centered_domain(t).astype(np.float64)
+    if activation == "relu":
+        x = np.maximum(x, 0)
+    elif activation != "identity":
+        raise QuantizationError(f"unsupported merged activation {activation!r}")
+    vals = np.clip(np.rint(x * multiplier), -a_max, a_max).astype(np.int64)
+    return FbsLut(vals, t, name or f"remap-{activation}")
+
+
+def layer_lut(layer, cfg: QuantConfig, t: int | None = None) -> FbsLut:
+    """The FBS table for one IR node's MAC -> activation remapping.
+
+    Built by tabulating the IR node's own ``remap`` over the centered
+    domain, so the encrypted table is bit-exact with plaintext quantized
+    inference for *any* merged activation (relu / sigmoid / gelu / ...).
+    """
+    t = t or cfg.t
+    a_max = cfg.a_max
+    if isinstance(layer, (QConv, QLinear, QResidual)):
+        domain = _centered_domain(t)
+        name = getattr(layer, "activation", "residual-add")
+        return FbsLut(layer.remap(domain, a_max), t, f"remap-{name}")
+    if isinstance(layer, QAvgPool):
+        k2 = layer.kernel**2
+        vals = np.rint(_centered_domain(t) / k2).astype(np.int64)
+        return FbsLut(vals, t, f"avgpool/{k2}")
+    if isinstance(layer, QGlobalAvgPool):
+        vals = np.rint(_centered_domain(t) / layer.spatial).astype(np.int64)
+        return FbsLut(vals, t, f"gap/{layer.spatial}")
+    raise QuantizationError(f"no LUT for {type(layer).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Generic activation tables ("Athena supports any non-linear function")
+# ---------------------------------------------------------------------------
+
+
+def activation_lut(
+    fn: Callable[[np.ndarray], np.ndarray],
+    t: int,
+    in_scale: float = 1.0,
+    out_scale: float = 1.0,
+    name: str = "act",
+) -> FbsLut:
+    """LUT(x) = round(fn(x * in_scale) / out_scale) over the centered domain."""
+    x = _centered_domain(t).astype(np.float64) * in_scale
+    vals = np.rint(np.asarray(fn(x)) / out_scale).astype(np.int64)
+    return FbsLut(vals, t, name)
+
+
+def relu_lut(t: int) -> FbsLut:
+    return FbsLut.from_function(lambda x: np.maximum(x, 0), t, "relu")
+
+
+def sigmoid_lut(t: int, in_scale: float, out_levels: int) -> FbsLut:
+    """Sigmoid quantized to ``out_levels`` integer levels."""
+    return activation_lut(
+        lambda x: out_levels / (1.0 + np.exp(-x)), t, in_scale, 1.0, "sigmoid"
+    )
+
+
+def gelu_lut(t: int, in_scale: float, out_scale: float) -> FbsLut:
+    def gelu(x):
+        return 0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)))
+
+    return activation_lut(gelu, t, in_scale, out_scale, "gelu")
+
+
+def avgpool_lut(kernel: int, t: int) -> FbsLut:
+    """LUT(x) = round(x / k^2) (paper: Average-pooling)."""
+    k2 = kernel * kernel
+    vals = np.rint(_centered_domain(t) / k2).astype(np.int64)
+    return FbsLut(vals, t, f"avgpool-{kernel}")
+
+
+# ---------------------------------------------------------------------------
+# Max-pooling via the max-tree (paper / PEGASUS [30])
+# ---------------------------------------------------------------------------
+
+
+def max_tree_plain(values: np.ndarray, relu: FbsLut, t: int) -> np.ndarray:
+    """max over axis -1 using only (sub, ReLU-LUT, add) — the FHE recipe.
+
+    max(a, b) = b + relu(a - b); reducing pairwise gives a log-depth tree of
+    O(k) LUT evaluations for a k-wide pooling window, matching the paper's
+    O(k) FBS cost for max-pooling.
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    while vals.shape[-1] > 1:
+        n = vals.shape[-1]
+        half = n // 2
+        a = vals[..., :half]
+        b = vals[..., half : 2 * half]
+        diff = (a - b + t // 2) % t - t // 2  # centered mod-t subtraction
+        merged = b + relu.apply_plain(diff)
+        if n % 2:
+            merged = np.concatenate([merged, vals[..., -1:]], axis=-1)
+        vals = merged
+    return vals[..., 0]
+
+
+# ---------------------------------------------------------------------------
+# Softmax (paper §3.2.3: exp LUT, inverse LUT, one CMult)
+# ---------------------------------------------------------------------------
+
+
+def softmax_luts(
+    t: int, in_scale: float, exp_levels: int = 256, inv_levels: int = 256,
+    max_inputs: int = 64,
+) -> tuple[FbsLut, FbsLut, int]:
+    """(exp table, reciprocal table, product shift) for encrypted softmax.
+
+    Step 1: e_i = round(exp(x_i * in_scale) * exp_levels)  (bounded bit width)
+    Step 2: r = round(inv_levels * exp_levels / sum_j e_j)
+    Step 3: softmax_i ~= e_i * r / (inv_levels)  via one CMult.
+    """
+    exp_lut = activation_lut(
+        lambda x: np.clip(np.exp(np.minimum(x, 0.0)) * exp_levels, 0, exp_levels),
+        t,
+        in_scale,
+        1.0,
+        "softmax-exp",
+    )
+    x = _centered_domain(t).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(x > 0, inv_levels * exp_levels / np.maximum(x, 1), 0.0)
+    inv_lut = FbsLut(np.rint(np.clip(inv, 0, t // 2)).astype(np.int64), t, "softmax-inv")
+    return exp_lut, inv_lut, inv_levels
+
+
+def softmax_plain(
+    logits: np.ndarray, exp_lut: FbsLut, inv_lut: FbsLut, inv_levels: int, t: int
+) -> np.ndarray:
+    """Reference integer softmax using the FHE recipe (max-subtracted)."""
+    x = np.asarray(logits, dtype=np.int64)
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = exp_lut.apply_plain(shifted)
+    total = e.sum(axis=-1, keepdims=True)
+    r = inv_lut.apply_plain(total)
+    probs = e * r  # the CMult
+    return probs / (probs.sum(axis=-1, keepdims=True) + 1e-12)

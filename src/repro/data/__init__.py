@@ -1,0 +1,5 @@
+"""Synthetic dataset generators (MNIST- and CIFAR-like)."""
+
+from repro.data.synthetic import load_dataset, synthetic_cifar, synthetic_digits
+
+__all__ = ["load_dataset", "synthetic_cifar", "synthetic_digits"]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish parameter problems from runtime (noise-budget) problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError):
+    """An FHE or model parameter set is invalid or inconsistent."""
+
+
+class NoiseBudgetExhausted(ReproError):
+    """A ciphertext's noise exceeded Delta/2; decryption would be wrong."""
+
+
+class EncodingError(ReproError):
+    """Data does not fit the requested encoding (e.g. too large for N)."""
+
+
+class QuantizationError(ReproError):
+    """Quantized value out of representable range or bad quant config."""
+
+
+class ScheduleError(ReproError):
+    """The accelerator simulator was given an unschedulable op trace."""

@@ -1,0 +1,94 @@
+"""Trained-and-quantized model zoo with on-disk caching.
+
+Accuracy experiments (Table 5, Fig. 4, Fig. 12) need trained models; this
+module trains each benchmark once on the synthetic datasets and caches the
+quantized IR under ``artifacts/``. ResNets default to reduced widths so the
+full experiment suite runs in minutes — the plaintext-vs-ciphertext *gap*
+the paper measures is width-independent (the noise model acts per MAC
+value, not per channel). Widths/epochs are overridable for full-size runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.quant.models import build
+from repro.quant.nn import Sgd, accuracy, train_epoch
+from repro.quant.quantize import QuantConfig, QuantizedModel, quantize_model
+
+ARTIFACTS = Path(os.environ.get("REPRO_ARTIFACTS", Path(__file__).resolve().parents[3] / "artifacts"))
+
+#: Per-model training recipe: (width, epochs, lr, train_size).
+RECIPES = {
+    "mnist_cnn": (1.0, 8, 0.05, 3000),
+    "lenet": (1.0, 10, 0.05, 3000),
+    "resnet20": (0.5, 4, 0.05, 1536),
+    "resnet56": (0.35, 3, 0.05, 1024),
+}
+
+
+@dataclass
+class ZooEntry:
+    name: str
+    float_model: object
+    quantized: dict[str, QuantizedModel]  # keyed by wXaY label
+    data: dict[str, np.ndarray]
+    float_accuracy: float
+
+
+def _cache_path(name: str) -> Path:
+    return ARTIFACTS / f"{name}.pkl"
+
+
+def _strip_training_caches(layer) -> None:
+    """Null out forward caches (im2col patches etc.) before pickling —
+    they dominate the serialized size and are rebuilt on demand."""
+    for attr in ("_cache", "_x", "_mask", "_shape", "_out"):
+        if hasattr(layer, attr):
+            setattr(layer, attr, None)
+    for child_attr in ("layers",):
+        for child in getattr(layer, child_attr, []) or []:
+            _strip_training_caches(child)
+    for child_attr in ("body", "shortcut", "relu"):
+        child = getattr(layer, child_attr, None)
+        if child is not None:
+            _strip_training_caches(child)
+
+
+def train_benchmark(name: str, seed: int = 0) -> ZooEntry:
+    width, epochs, lr, train_size = RECIPES[name]
+    data = load_dataset(name, train=train_size, test=512, seed=seed)
+    rng = np.random.default_rng(seed)
+    model = build(name, rng=np.random.default_rng(seed + 1), width=width)
+    opt = Sgd(lr=lr)
+    for _ in range(epochs):
+        train_epoch(model, data["x_train"], data["y_train"], opt, rng=rng)
+    fa = accuracy(model, data["x_test"], data["y_test"])
+    calib = data["x_train"][:256]
+    quantized = {}
+    for (wb, ab) in ((7, 7), (6, 7)):
+        cfg = QuantConfig(wb, ab)
+        qm = quantize_model(model, calib, cfg, name)
+        qm.forward_float(data["x_train"][:256])  # populate MAC peaks
+        quantized[cfg.label] = qm
+    return ZooEntry(name, model, quantized, data, fa)
+
+
+def get_benchmark(name: str, seed: int = 0, refresh: bool = False) -> ZooEntry:
+    """Load from cache or train; cache under artifacts/."""
+    path = _cache_path(f"{name}-{seed}")
+    if path.exists() and not refresh:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    entry = train_benchmark(name, seed)
+    _strip_training_caches(entry.float_model)
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(entry, fh)
+    return entry

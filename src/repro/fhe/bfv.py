@@ -1,0 +1,287 @@
+"""The BFV homomorphic encryption scheme (RNS variant, textbook semantics).
+
+A ciphertext (c0, c1) satisfies c0 + c1*s = Delta*m + e (mod Q) with
+Delta = floor(Q/t). Supported operations (all used by the Athena framework):
+
+* HAdd / HSub          — ciphertext addition/subtraction
+* SMult                — scalar multiplication
+* PMult                — plaintext-polynomial multiplication (used for the
+                         coefficient-encoded convolution and all BSGS
+                         matrix-vector products)
+* CMult                — ciphertext-ciphertext multiplication with
+                         relinearization (used by FBS giant steps)
+* Galois automorphisms — slot rotations / row swap via keyswitching
+* modulus switching    — the Q -> t noise-refresh step of the Athena loop
+
+The per-op *analytic* noise accounting mirrors the paper's Table 4 rules
+(PMult/CMult: log2 N + log2 t bits; SMult: log2 t bits; HAdd: 1 bit); the
+*true* noise of any ciphertext can be measured against a secret key with
+:meth:`BfvContext.true_noise_bits`, which the tests compare to the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NoiseBudgetExhausted, ParameterError
+from repro.fhe import slots as slotlib
+from repro.fhe.keys import (
+    KeySwitchKey,
+    PublicKey,
+    SecretKey,
+    apply_keyswitch,
+    gadget_decompose,
+)
+from repro.fhe.ntt import negacyclic_mul_exact
+from repro.fhe.params import FheParams
+from repro.fhe.poly import RnsPoly
+from repro.utils.modmath import centered_array
+from repro.utils.sampling import Sampler
+
+
+@dataclass
+class Plaintext:
+    """A BFV plaintext: coefficient vector modulo t."""
+
+    coeffs: np.ndarray
+    params: FheParams
+
+    @classmethod
+    def from_coeffs(cls, coeffs, params: FheParams) -> "Plaintext":
+        arr = np.mod(np.asarray(coeffs, dtype=np.int64), params.t)
+        if arr.shape != (params.n,):
+            padded = np.zeros(params.n, dtype=np.int64)
+            padded[: arr.shape[0]] = arr
+            arr = padded
+        return cls(arr, params)
+
+    @classmethod
+    def from_slots(cls, values, params: FheParams) -> "Plaintext":
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] < params.n:
+            values = np.concatenate(
+                [values, np.zeros(params.n - values.shape[0], dtype=np.int64)]
+            )
+        return cls(slotlib.slot_encode(values, params.n, params.t), params)
+
+    def to_slots(self) -> np.ndarray:
+        return slotlib.slot_decode(self.coeffs, self.params.n, self.params.t)
+
+    def centered(self) -> np.ndarray:
+        return centered_array(self.coeffs, self.params.t)
+
+
+@dataclass
+class BfvCiphertext:
+    """BFV ciphertext with an analytic noise-bit estimate."""
+
+    c0: RnsPoly
+    c1: RnsPoly
+    params: FheParams
+    noise_bits: float
+
+    @property
+    def noise_budget_bits(self) -> float:
+        """Remaining headroom: log2(Delta/2) - current noise estimate."""
+        return math.log2(self.params.delta / 2) - self.noise_bits
+
+    def assert_budget(self) -> None:
+        if self.noise_budget_bits <= 0:
+            raise NoiseBudgetExhausted(
+                f"estimated noise {self.noise_bits:.1f} bits exceeds "
+                f"Delta/2 = {math.log2(self.params.delta / 2):.1f} bits"
+            )
+
+
+class BfvContext:
+    """Keygen and homomorphic evaluation for one parameter set."""
+
+    def __init__(self, params: FheParams, seed: int | None = None):
+        self.params = params
+        self.sampler = Sampler(seed, sigma=params.sigma)
+        self._log_nt = math.log2(params.n) + math.log2(params.t)
+        self._log_t = math.log2(params.t)
+
+    # ----- key generation -------------------------------------------------
+
+    def keygen(self) -> tuple[SecretKey, PublicKey]:
+        sk = SecretKey.generate(self.params, self.sampler)
+        pk = PublicKey.generate(sk, self.sampler)
+        return sk, pk
+
+    def relin_key(self, sk: SecretKey) -> KeySwitchKey:
+        """Keyswitch key from s^2 to s."""
+        return KeySwitchKey.generate(sk.poly * sk.poly, sk, self.sampler)
+
+    def galois_key(self, sk: SecretKey, k: int) -> KeySwitchKey:
+        """Keyswitch key from s(X^k) to s."""
+        return KeySwitchKey.generate(sk.poly.automorphism(k), sk, self.sampler)
+
+    def galois_keys(self, sk: SecretKey, elements) -> dict[int, KeySwitchKey]:
+        return {k: self.galois_key(sk, k) for k in set(elements)}
+
+    def rotation_keys(self, sk: SecretKey, amounts) -> dict[int, KeySwitchKey]:
+        """Galois keys for a set of row-rotation amounts (plus none extra)."""
+        elements = {slotlib.rotation_galois_element(self.params.n, a) for a in amounts}
+        return self.galois_keys(sk, elements)
+
+    # ----- encryption -----------------------------------------------------
+
+    def encrypt(self, pt: Plaintext, pk: PublicKey) -> BfvCiphertext:
+        p = self.params
+        u = RnsPoly.from_int_coeffs(self.sampler.ternary(p.n), p.moduli)
+        e0 = RnsPoly.from_int_coeffs(self.sampler.gaussian(p.n), p.moduli)
+        e1 = RnsPoly.from_int_coeffs(self.sampler.gaussian(p.n), p.moduli)
+        scaled = RnsPoly.from_int_coeffs(pt.coeffs, p.moduli).scalar_mul(p.delta)
+        c0 = pk.b * u + e0 + scaled
+        c1 = pk.a * u + e1
+        fresh = math.log2(p.sigma * math.sqrt(2 * p.n) + p.sigma) + 1
+        return BfvCiphertext(c0, c1, p, fresh)
+
+    def encrypt_symmetric(self, pt: Plaintext, sk: SecretKey) -> BfvCiphertext:
+        p = self.params
+        from repro.fhe.keys import _uniform_poly
+
+        a = _uniform_poly(p, self.sampler)
+        e = RnsPoly.from_int_coeffs(self.sampler.gaussian(p.n), p.moduli)
+        scaled = RnsPoly.from_int_coeffs(pt.coeffs, p.moduli).scalar_mul(p.delta)
+        c0 = -(a * sk.poly) + e + scaled
+        return BfvCiphertext(c0, a, p, math.log2(p.sigma) + 2)
+
+    def decrypt(self, ct: BfvCiphertext, sk: SecretKey) -> Plaintext:
+        p = self.params
+        phase = ct.c0 + ct.c1 * sk.poly
+        coeffs = phase.to_int_coeffs(centered=False)
+        q = p.q
+        out = np.empty(p.n, dtype=np.int64)
+        for j, v in enumerate(coeffs):
+            out[j] = ((v * p.t + q // 2) // q) % p.t
+        return Plaintext(out, p)
+
+    # ----- homomorphic operations ------------------------------------------
+
+    def add(self, a: BfvCiphertext, b: BfvCiphertext) -> BfvCiphertext:
+        return BfvCiphertext(
+            a.c0 + b.c0, a.c1 + b.c1, a.params, max(a.noise_bits, b.noise_bits) + 1
+        )
+
+    def sub(self, a: BfvCiphertext, b: BfvCiphertext) -> BfvCiphertext:
+        return BfvCiphertext(
+            a.c0 - b.c0, a.c1 - b.c1, a.params, max(a.noise_bits, b.noise_bits) + 1
+        )
+
+    def add_plain(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
+        scaled = RnsPoly.from_int_coeffs(pt.coeffs, ct.params.moduli).scalar_mul(
+            ct.params.delta
+        )
+        return BfvCiphertext(ct.c0 + scaled, ct.c1, ct.params, ct.noise_bits)
+
+    def smult(self, ct: BfvCiphertext, scalar: int) -> BfvCiphertext:
+        """Scalar multiplication (scalar taken mod t, centered)."""
+        t = ct.params.t
+        scalar = int(scalar) % t
+        if scalar > t // 2:
+            scalar -= t
+        return BfvCiphertext(
+            ct.c0.scalar_mul(scalar),
+            ct.c1.scalar_mul(scalar),
+            ct.params,
+            ct.noise_bits + self._log_t,
+        )
+
+    def pmult(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
+        """Multiply by a plaintext polynomial (weights stay unencrypted)."""
+        w = RnsPoly.from_int_coeffs(
+            centered_array(pt.coeffs, ct.params.t), ct.params.moduli
+        )
+        return BfvCiphertext(
+            ct.c0 * w, ct.c1 * w, ct.params, ct.noise_bits + self._log_nt
+        )
+
+    def cmult(
+        self, a: BfvCiphertext, b: BfvCiphertext, rlk: KeySwitchKey
+    ) -> BfvCiphertext:
+        """Ciphertext-ciphertext multiplication with relinearization.
+
+        Tensor the ciphertexts exactly over the integers (centered lifts),
+        scale each component by t/Q with rounding, then fold the quadratic
+        term back to degree one with the relinearization key.
+        """
+        p = a.params
+        a0 = a.c0.to_int_coeffs()
+        a1 = a.c1.to_int_coeffs()
+        b0 = b.c0.to_int_coeffs()
+        b1 = b.c1.to_int_coeffs()
+        e0 = negacyclic_mul_exact(a0, b0)
+        e1a = negacyclic_mul_exact(a0, b1)
+        e1b = negacyclic_mul_exact(a1, b0)
+        e2 = negacyclic_mul_exact(a1, b1)
+        e1 = [x + y for x, y in zip(e1a, e1b)]
+        r0 = self._scale_round(e0)
+        r1 = self._scale_round(e1)
+        r2 = self._scale_round(e2)
+        d0, d1 = apply_keyswitch(r2, rlk)
+        noise = max(a.noise_bits, b.noise_bits) + self._log_nt
+        return BfvCiphertext(r0 + d0, r1 + d1, p, noise)
+
+    def _scale_round(self, coeffs: list[int]) -> RnsPoly:
+        """round(t * x / Q) mod Q, coefficient-wise on exact integers."""
+        p = self.params
+        q = p.q
+        scaled = [((c * p.t * 2 + q) // (2 * q)) for c in coeffs]
+        return RnsPoly.from_int_coeffs(scaled, p.moduli)
+
+    def square(self, ct: BfvCiphertext, rlk: KeySwitchKey) -> BfvCiphertext:
+        return self.cmult(ct, ct, rlk)
+
+    # ----- automorphisms ----------------------------------------------------
+
+    def apply_galois(
+        self, ct: BfvCiphertext, k: int, gk: KeySwitchKey
+    ) -> BfvCiphertext:
+        """sigma_k on the plaintext; keyswitch back to the original key."""
+        k = k % (2 * ct.params.n)
+        c0k = ct.c0.automorphism(k)
+        c1k = ct.c1.automorphism(k)
+        d0, d1 = apply_keyswitch(c1k, gk)
+        noise = ct.noise_bits + math.log2(ct.params.n) / 2 + 2
+        return BfvCiphertext(c0k + d0, d1, ct.params, noise)
+
+    def rotate_slots(
+        self, ct: BfvCiphertext, amount: int, gks: dict[int, KeySwitchKey]
+    ) -> BfvCiphertext:
+        """Rotate both hypercube rows left by ``amount`` slots."""
+        k = slotlib.rotation_galois_element(ct.params.n, amount)
+        if k == 1:
+            return ct
+        if k not in gks:
+            raise ParameterError(f"missing Galois key for element {k}")
+        return self.apply_galois(ct, k, gks[k])
+
+    def row_swap(
+        self, ct: BfvCiphertext, gks: dict[int, KeySwitchKey]
+    ) -> BfvCiphertext:
+        k = slotlib.row_swap_element(ct.params.n)
+        if k not in gks:
+            raise ParameterError(f"missing Galois key for row swap ({k})")
+        return self.apply_galois(ct, k, gks[k])
+
+    # ----- diagnostics --------------------------------------------------------
+
+    def true_noise_bits(self, ct: BfvCiphertext, sk: SecretKey) -> float:
+        """Measured noise: log2 of max |c0 + c1*s - Delta*m| over coefficients."""
+        p = self.params
+        phase = ct.c0 + ct.c1 * sk.poly
+        coeffs = phase.to_int_coeffs(centered=False)
+        q = p.q
+        worst = 0
+        for v in coeffs:
+            m = ((v * p.t + q // 2) // q) % p.t
+            residual = (v - p.delta * m) % q
+            if residual > q // 2:
+                residual -= q
+            worst = max(worst, abs(residual))
+        return math.log2(worst) if worst else 0.0

@@ -1,0 +1,131 @@
+"""Key material for the BFV scheme: secret/public keys and keyswitch keys.
+
+Keyswitch keys (relinearization, Galois, and LWE packing keys) use the
+classic base-2^w gadget decomposition over the full modulus Q: the key for a
+target secret ``g`` is the list KSK_j = (-(a_j * s) + e_j + T^j * g, a_j),
+so that sum_j digit_j(c) * KSK_j key-switches a component encrypted under
+``g`` to one under ``s`` while adding only O(l * N * T * sigma) noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.params import FheParams
+from repro.fhe.poly import RnsPoly
+from repro.fhe.rns import from_rns
+from repro.utils.sampling import Sampler
+
+
+@dataclass
+class SecretKey:
+    """Ternary RLWE secret key."""
+
+    params: FheParams
+    poly: RnsPoly
+    coeffs: np.ndarray  # ternary int64 vector, the "plain" view of the key
+
+    @classmethod
+    def generate(cls, params: FheParams, sampler: Sampler) -> "SecretKey":
+        coeffs = sampler.ternary(params.n)
+        return cls(params, RnsPoly.from_int_coeffs(coeffs, params.moduli), coeffs)
+
+    @property
+    def norm_sq(self) -> int:
+        """||s||^2, used in the e_ms noise formula of paper §3.3."""
+        return int(np.sum(self.coeffs * self.coeffs))
+
+
+@dataclass
+class PublicKey:
+    """Standard RLWE public key (b, a) with b = -(a*s) + e."""
+
+    b: RnsPoly
+    a: RnsPoly
+
+    @classmethod
+    def generate(cls, sk: SecretKey, sampler: Sampler) -> "PublicKey":
+        params = sk.params
+        a = _uniform_poly(params, sampler)
+        e = RnsPoly.from_int_coeffs(sampler.gaussian(params.n), params.moduli)
+        b = -(a * sk.poly) + e
+        return cls(b, a)
+
+
+def _uniform_poly(params: FheParams, sampler: Sampler) -> RnsPoly:
+    """Uniform element of R_Q, sampled limb-wise (valid: limbs independent)."""
+    data = np.empty((len(params.moduli), params.n), dtype=np.int64)
+    for i, p in enumerate(params.moduli):
+        data[i] = sampler.uniform(p, params.n)
+    return RnsPoly(data, params.moduli)
+
+
+@dataclass
+class KeySwitchKey:
+    """Gadget-decomposed keyswitch key from secret ``g`` to secret ``s``."""
+
+    k0: list[RnsPoly]  # -(a_j s) + e_j + T^j g
+    k1: list[RnsPoly]  # a_j
+    base_bits: int
+
+    @classmethod
+    def generate(
+        cls, target: RnsPoly, sk: SecretKey, sampler: Sampler
+    ) -> "KeySwitchKey":
+        params = sk.params
+        w = params.decomp_bits
+        digits = -(-params.q.bit_length() // w)
+        k0, k1 = [], []
+        power = 1
+        for _ in range(digits):
+            a = _uniform_poly(params, sampler)
+            e = RnsPoly.from_int_coeffs(sampler.gaussian(params.n), params.moduli)
+            k0.append(-(a * sk.poly) + e + target.scalar_mul(power))
+            k1.append(a)
+            power <<= w
+        return cls(k0, k1, w)
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.k0)
+
+
+def gadget_decompose(poly: RnsPoly, base_bits: int, num_digits: int) -> list[RnsPoly]:
+    """Decompose a ring element into base-2^w digit polynomials.
+
+    Digits are non-negative integers < 2^w satisfying
+    sum_j digit_j * 2^(w*j) = coeff (mod Q), computed on the exact CRT lift.
+    """
+    coeffs = from_rns(poly.data, poly.moduli)
+    n = poly.n
+    mask = (1 << base_bits) - 1
+    digit_rows = np.zeros((num_digits, n), dtype=np.int64)
+    for j, c in enumerate(coeffs):
+        c = int(c)
+        for d in range(num_digits):
+            digit_rows[d, j] = c & mask
+            c >>= base_bits
+        if c:
+            raise ParameterError("gadget decomposition ran out of digits")
+    return [
+        RnsPoly.from_int_coeffs(digit_rows[d], poly.moduli) for d in range(num_digits)
+    ]
+
+
+def apply_keyswitch(
+    component: RnsPoly, ksk: KeySwitchKey
+) -> tuple[RnsPoly, RnsPoly]:
+    """Key-switch a single ciphertext component.
+
+    Returns the (delta_c0, delta_c1) pair to be added to the ciphertext.
+    """
+    digits = gadget_decompose(component, ksk.base_bits, ksk.num_digits)
+    out0 = RnsPoly.zeros(component.n, component.moduli)
+    out1 = RnsPoly.zeros(component.n, component.moduli)
+    for d, (key0, key1) in zip(digits, zip(ksk.k0, ksk.k1)):
+        out0 = out0 + d * key0
+        out1 = out1 + d * key1
+    return out0, out1

@@ -1,0 +1,192 @@
+"""Negacyclic Number-Theoretic Transform over word-sized primes.
+
+This is the workhorse of the whole FHE substrate: polynomial multiplication
+in Z_p[X]/(X^N + 1) for primes p = 1 (mod 2N), p < 2**31. All butterflies
+are vectorized numpy int64 operations; since p < 2**31 every intermediate
+product fits in an int64 (a*b < 2**62), so no Barrett/Montgomery machinery
+is required in Python.
+
+The transform is the standard "merged-psi" negacyclic NTT (Longa & Naehrig):
+powers of the 2N-th root of unity are folded into the butterflies so no
+separate pre/post scaling pass is needed.
+
+:func:`negacyclic_mul_exact` provides an arbitrary-precision reference
+multiplier (Kronecker substitution into Python big integers) used to verify
+the NTT path and to implement BFV ciphertext multiplication, which needs the
+exact integer product before scale-and-round.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.modmath import inv_mod, root_of_unity
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    """Indices 0..n-1 in bit-reversed order (n a power of two)."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+@lru_cache(maxsize=None)
+def _tables(n: int, p: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Precomputed (psi_rev, inv_psi_rev, inv_n) tables for an (N, p) pair."""
+    if n & (n - 1) or n < 2:
+        raise ParameterError(f"NTT size must be a power of two >= 2, got {n}")
+    if (p - 1) % (2 * n):
+        raise ParameterError(f"prime {p} does not support negacyclic NTT of size {n}")
+    psi = root_of_unity(2 * n, p)
+    ipsi = inv_mod(psi, p)
+    powers = np.empty(n, dtype=np.int64)
+    ipowers = np.empty(n, dtype=np.int64)
+    acc = iacc = 1
+    for i in range(n):
+        powers[i] = acc
+        ipowers[i] = iacc
+        acc = acc * psi % p
+        iacc = iacc * ipsi % p
+    rev = _bit_reverse_indices(n)
+    return powers[rev], ipowers[rev], inv_mod(n, p)
+
+
+def ntt_forward(a: np.ndarray, p: int) -> np.ndarray:
+    """Forward negacyclic NTT of ``a`` (length N) modulo prime p.
+
+    Input in natural order, output in bit-reversed order (which is fine:
+    pointwise products and the matching inverse transform compose correctly).
+    """
+    a = np.mod(a, p).astype(np.int64)
+    n = a.shape[-1]
+    psi_rev, _, _ = _tables(n, p)
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        view = a.reshape(*a.shape[:-1], m, 2, t)
+        s = psi_rev[m : 2 * m].reshape(m, 1)
+        u = view[..., 0, :].copy()
+        v = view[..., 1, :] * s % p
+        view[..., 0, :] = (u + v) % p
+        view[..., 1, :] = (u - v) % p
+        m *= 2
+    return a
+
+
+def ntt_inverse(a: np.ndarray, p: int) -> np.ndarray:
+    """Inverse of :func:`ntt_forward` (bit-reversed in, natural order out)."""
+    a = np.mod(a, p).astype(np.int64)
+    n = a.shape[-1]
+    _, ipsi_rev, inv_n = _tables(n, p)
+    t = 1
+    m = n
+    while m > 1:
+        h = m // 2
+        view = a.reshape(*a.shape[:-1], h, 2, t)
+        s = ipsi_rev[h : 2 * h].reshape(h, 1)
+        u = view[..., 0, :].copy()
+        v = view[..., 1, :].copy()
+        view[..., 0, :] = (u + v) % p
+        view[..., 1, :] = (u - v) * s % p
+        t *= 2
+        m = h
+    return a * inv_n % p
+
+
+def ntt_mul(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
+    """Negacyclic product of two length-N coefficient vectors modulo p."""
+    fa = ntt_forward(a, p)
+    fb = ntt_forward(b, p)
+    return ntt_inverse(fa * fb % p, p)
+
+
+def negacyclic_mul_exact(a, b) -> list[int]:
+    """Exact product in Z[X]/(X^N + 1) using Kronecker substitution.
+
+    ``a`` and ``b`` are sequences of (possibly large, possibly negative)
+    Python integers. The polynomials are evaluated at x = 2**bits with
+    non-negative digit packing, multiplied as two big integers (Python's
+    Karatsuba does the heavy lifting), unpacked, and reduced negacyclically.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError("operands must have equal length")
+    a = [int(x) for x in a]
+    b = [int(x) for x in b]
+    # Shift to non-negative digits: offset each coefficient by M, multiply,
+    # then subtract the cross terms. Cheaper: split into sign-free parts.
+    # Split into non-negative parts so every packed digit stays non-negative
+    # and unpacking needs no sign/carry handling. Four big-int products:
+    # (a+ - a-)(b+ - b-) = (a+b+ + a-b-) - (a+b- + a-b+).
+    a_pos = [x if x > 0 else 0 for x in a]
+    a_neg = [-x if x < 0 else 0 for x in a]
+    b_pos = [x if x > 0 else 0 for x in b]
+    b_neg = [-x if x < 0 else 0 for x in b]
+    max_a = max(max(a_pos, default=0), max(a_neg, default=0), 1)
+    max_b = max(max(b_pos, default=0), max(b_neg, default=0), 1)
+    # Each digit of a product of packed ints is at most n * max_a * max_b,
+    # and we add two such products together: one extra bit covers the sum.
+    bits = (max_a * max_b * n).bit_length() + 2
+    mask = (1 << bits) - 1
+
+    def pack(coeffs: list[int]) -> int:
+        out = 0
+        for c in reversed(coeffs):
+            out = (out << bits) | c
+        return out
+
+    pp = pack(a_pos) * pack(b_pos) + pack(a_neg) * pack(b_neg)
+    pm = pack(a_pos) * pack(b_neg) + pack(a_neg) * pack(b_pos)
+
+    def unpack(value: int) -> list[int]:
+        digits = []
+        for _ in range(2 * n):
+            digits.append(value & mask)
+            value >>= bits
+        return digits
+
+    dp = unpack(pp)
+    dm = unpack(pm)
+    full = [dp[i] - dm[i] for i in range(2 * n)]
+    return [full[i] - full[i + n] for i in range(n)]
+
+
+def cyclic_ntt(a: np.ndarray, p: int, root: int) -> np.ndarray:
+    """Cyclic DFT of size len(a) over Z_p with the given primitive root.
+
+    Iterative radix-2 Cooley-Tukey with bit-reversed input ordering; output
+    X[k] = sum_m a[m] * root^(k*m). Used for the O(t log t) LUT-polynomial
+    interpolation at t = 65537 (whose multiplicative group has power-of-two
+    order 2^16).
+    """
+    a = np.mod(np.asarray(a, dtype=np.int64), p)
+    n = a.shape[0]
+    if n & (n - 1):
+        raise ParameterError("cyclic NTT size must be a power of two")
+    if pow(root, n, p) != 1 or pow(root, n // 2, p) == 1:
+        raise ParameterError("root is not a primitive n-th root of unity")
+    rev = _bit_reverse_indices(n)
+    a = a[rev].copy()
+    length = 2
+    while length <= n:
+        w = pow(root, n // length, p)
+        half = length // 2
+        twiddle = np.empty(half, dtype=np.int64)
+        acc = 1
+        for i in range(half):
+            twiddle[i] = acc
+            acc = acc * w % p
+        view = a.reshape(-1, length)
+        u = view[:, :half].copy()
+        v = view[:, half:] * twiddle % p
+        view[:, :half] = (u + v) % p
+        view[:, half:] = (u - v) % p
+        length *= 2
+    return a

@@ -1,0 +1,179 @@
+"""LWE -> RLWE packing via homomorphic decryption (paper §3.2.2, Step 4).
+
+Given up to N LWE ciphertexts (a_i, b_i) at modulus t under the small secret
+s', the packed BFV ciphertext must carry slot values
+
+    y_i = b_i + <a_i, s'>  (mod t)  =  m_i + e_i.
+
+The a-matrix and b-vector are *plaintext* (they are ciphertext material of
+the LWE layer, public by definition), while s' is encrypted slot-wise in the
+**packing key**. The computation is therefore a plaintext-matrix x
+encrypted-vector product, evaluated with the Halevi-Shoup diagonal method;
+the Baby-Step Giant-Step variant brings the rotation count down to
+O(sqrt(N)) as in the paper's complexity table.
+
+The slot hypercube is 2 x (N/2); row rotations act on both rows in parallel,
+so one mat-vec pass computes N outputs at once: the top row of diagonals is
+drawn from rows 0..N/2-1 of A and the bottom row from rows N/2..N-1, with
+the packing key holding s' (zero-padded to N/2) replicated in both rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
+from repro.fhe.keys import KeySwitchKey, PublicKey, SecretKey
+from repro.fhe.lwe import LweBatch
+from repro.utils.modmath import centered_array
+
+
+@dataclass
+class PackingKey:
+    """Encrypted LWE secret plus the Galois keys its mat-vec needs."""
+
+    encrypted_secret: BfvCiphertext  # slots: s' padded to N/2, both rows
+    rotation_keys: dict[int, KeySwitchKey]
+    lwe_dim: int
+    baby_steps: int
+
+    @classmethod
+    def generate(
+        cls,
+        ctx: BfvContext,
+        lwe_secret: np.ndarray,
+        sk: SecretKey,
+        pk: PublicKey,
+        baby_steps: int | None = None,
+    ) -> "PackingKey":
+        params = ctx.params
+        half = params.n // 2
+        n_lwe = lwe_secret.shape[0]
+        if n_lwe > half:
+            raise ParameterError("LWE dimension exceeds N/2 slots per row")
+        row = np.zeros(half, dtype=np.int64)
+        row[:n_lwe] = np.mod(lwe_secret, params.t)
+        enc = ctx.encrypt(
+            Plaintext.from_slots(np.concatenate([row, row]), params), pk
+        )
+        if baby_steps is None:
+            baby_steps = max(1, int(math.isqrt(half)))
+        amounts = set(range(1, baby_steps))
+        giant = -(-half // baby_steps)
+        amounts |= {g * baby_steps for g in range(1, giant)}
+        keys = ctx.rotation_keys(sk, amounts) if amounts else {}
+        return cls(enc, keys, n_lwe, baby_steps)
+
+
+def _hypercube_diagonals(
+    a_top: np.ndarray, a_bot: np.ndarray, half: int
+) -> np.ndarray:
+    """All M diagonals of the 2-row block mat-vec, shape (M, N).
+
+    diag_d slot i (top row) = a_top[i, (i+d) mod M]; bottom analogous.
+    Matrices are zero-padded to (M, M).
+    """
+
+    def pad(m: np.ndarray) -> np.ndarray:
+        out = np.zeros((half, half), dtype=np.int64)
+        out[: m.shape[0], : m.shape[1]] = m
+        return out
+
+    top = pad(a_top)
+    bot = pad(a_bot)
+    i = np.arange(half)
+    diags = np.empty((half, 2 * half), dtype=np.int64)
+    for d in range(half):
+        cols = (i + d) % half
+        diags[d, :half] = top[i, cols]
+        diags[d, half:] = bot[i, cols]
+    return diags
+
+
+def hypercube_matvec(
+    ctx: BfvContext,
+    ct: BfvCiphertext,
+    diagonals: np.ndarray,
+    rotation_keys: dict[int, KeySwitchKey],
+    baby_steps: int,
+) -> BfvCiphertext:
+    """BSGS Halevi-Shoup product: slots(out)_i = sum_d diag[d][i] * v_{i+d}.
+
+    ``diagonals`` has shape (M, N) with M = N/2 (row length); index d of the
+    first axis is the rotation amount. Zero diagonals are skipped.
+    """
+    params = ctx.params
+    half = params.n // 2
+    t = params.t
+    if diagonals.shape != (half, params.n):
+        raise ParameterError("diagonal matrix has wrong shape")
+    giant = -(-half // baby_steps)
+    # Baby rotations of the encrypted vector.
+    baby_cts: list[BfvCiphertext | None] = [ct] + [None] * (baby_steps - 1)
+    for b in range(1, baby_steps):
+        if np.any(diagonals[b::baby_steps]):
+            baby_cts[b] = ctx.rotate_slots(ct, b, rotation_keys)
+    result: BfvCiphertext | None = None
+    for g in range(giant):
+        inner: BfvCiphertext | None = None
+        for b in range(baby_steps):
+            d = g * baby_steps + b
+            if d >= half or not np.any(diagonals[d]):
+                continue
+            # Rotate the diagonal right by g*baby_steps within each row
+            # (plaintext-side correction for the later giant rotation).
+            diag = diagonals[d]
+            rolled = np.concatenate(
+                [np.roll(diag[:half], g * baby_steps), np.roll(diag[half:], g * baby_steps)]
+            )
+            term = ctx.pmult(baby_cts[b], Plaintext.from_slots(rolled, params))
+            inner = term if inner is None else ctx.add(inner, term)
+        if inner is None:
+            continue
+        if g:
+            inner = ctx.rotate_slots(inner, g * baby_steps, rotation_keys)
+        result = inner if result is None else ctx.add(result, inner)
+    if result is None:
+        # All-zero matrix: encrypt-free zero ciphertext via 0 * ct.
+        result = ctx.smult(ct, 0)
+    return result
+
+
+def pack_lwe(
+    ctx: BfvContext, batch: LweBatch, packing_key: PackingKey
+) -> BfvCiphertext:
+    """Pack <= N LWE ciphertexts (modulus t) into one BFV ciphertext.
+
+    Resulting slots: m_i + e_i in positions 0..count-1 (hypercube order:
+    first N/2 in row 0, remainder in row 1), zeros elsewhere.
+    """
+    params = ctx.params
+    if batch.modulus != params.t:
+        raise ParameterError(
+            f"LWE batch must be at modulus t={params.t}, got {batch.modulus}"
+        )
+    if batch.count > params.n:
+        raise ParameterError("more LWE ciphertexts than slots")
+    if batch.dim > params.n // 2:
+        raise ParameterError("LWE dimension exceeds packing row capacity")
+    half = params.n // 2
+    a = centered_array(batch.a, params.t)
+    a_top = a[: min(batch.count, half)]
+    a_bot = a[half:] if batch.count > half else np.zeros((0, batch.dim), dtype=np.int64)
+    diagonals = _hypercube_diagonals(a_top, a_bot, half)
+    out = hypercube_matvec(
+        ctx,
+        packing_key.encrypted_secret,
+        diagonals,
+        packing_key.rotation_keys,
+        packing_key.baby_steps,
+    )
+    b_slots = np.zeros(params.n, dtype=np.int64)
+    b_slots[: min(batch.count, half)] = batch.b[: min(batch.count, half)]
+    if batch.count > half:
+        b_slots[half : half + batch.count - half] = batch.b[half:]
+    return ctx.add_plain(out, Plaintext.from_slots(b_slots, params))

@@ -1,0 +1,195 @@
+"""Ring elements of Z_Q[X]/(X^N + 1) in RNS form.
+
+:class:`RnsPoly` is the basic algebraic object underneath BFV ciphertexts and
+keys: an (L, N) int64 residue matrix plus its modulus chain. Elements are
+kept in the coefficient domain; multiplications run a per-limb negacyclic
+NTT internally. Galois automorphisms x -> x^k are implemented as signed
+index permutations of the coefficient vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe import rns
+from repro.fhe.ntt import negacyclic_mul_exact, ntt_forward, ntt_inverse
+from repro.utils.modmath import inv_mod
+
+
+@lru_cache(maxsize=None)
+def automorphism_map(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Destination indices and signs for the map X -> X^k on degree-N rings.
+
+    Coefficient j of the input lands at index (j*k mod 2N); indices >= N wrap
+    negacyclically: X^(N+r) = -X^r. ``k`` must be odd so the map is a ring
+    automorphism.
+    """
+    if k % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {k}")
+    j = np.arange(n, dtype=np.int64)
+    dest = (j * (k % (2 * n))) % (2 * n)
+    sign = np.where(dest >= n, -1, 1).astype(np.int64)
+    dest = np.where(dest >= n, dest - n, dest)
+    return dest, sign
+
+
+@dataclass
+class RnsPoly:
+    """Element of Z_Q[X]/(X^N + 1), residues stored per RNS limb."""
+
+    data: np.ndarray  # shape (L, N), int64, reduced per limb
+    moduli: tuple[int, ...]
+
+    # --- constructors ---------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n: int, moduli: tuple[int, ...]) -> "RnsPoly":
+        return cls(np.zeros((len(moduli), n), dtype=np.int64), moduli)
+
+    @classmethod
+    def from_int_coeffs(
+        cls, coeffs: Sequence[int] | np.ndarray, moduli: tuple[int, ...]
+    ) -> "RnsPoly":
+        """Build from (possibly big / negative) integer coefficients."""
+        return cls(rns.to_rns(coeffs, moduli), moduli)
+
+    @classmethod
+    def constant(cls, value: int, n: int, moduli: tuple[int, ...]) -> "RnsPoly":
+        out = cls.zeros(n, moduli)
+        for i, p in enumerate(moduli):
+            out.data[i, 0] = value % p
+        return out
+
+    # --- basic properties ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def num_limbs(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def modulus(self) -> int:
+        return rns.rns_modulus(self.moduli)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.data.copy(), self.moduli)
+
+    def _check(self, other: "RnsPoly") -> None:
+        if self.moduli != other.moduli or self.n != other.n:
+            raise ParameterError("ring mismatch between operands")
+
+    # --- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check(other)
+        data = self.data + other.data
+        for i, p in enumerate(self.moduli):
+            data[i] %= p
+        return RnsPoly(data, self.moduli)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check(other)
+        data = self.data - other.data
+        for i, p in enumerate(self.moduli):
+            data[i] %= p
+        return RnsPoly(data, self.moduli)
+
+    def __neg__(self) -> "RnsPoly":
+        data = -self.data
+        for i, p in enumerate(self.moduli):
+            data[i] %= p
+        return RnsPoly(data, self.moduli)
+
+    def __mul__(self, other: "RnsPoly") -> "RnsPoly":
+        """Negacyclic product via per-limb NTT."""
+        self._check(other)
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.moduli):
+            fa = ntt_forward(self.data[i].copy(), p)
+            fb = ntt_forward(other.data[i].copy(), p)
+            out[i] = ntt_inverse(fa * fb % p, p)
+        return RnsPoly(out, self.moduli)
+
+    def scalar_mul(self, value: int) -> "RnsPoly":
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.moduli):
+            out[i] = self.data[i] * (value % p) % p
+        return RnsPoly(out, self.moduli)
+
+    def mul_exact_then_reduce(self, other: "RnsPoly") -> "RnsPoly":
+        """Exact big-int negacyclic product, then reduction per limb.
+
+        Reference path used in tests to validate the NTT product.
+        """
+        self._check(other)
+        a = rns.from_rns_centered(self.data, self.moduli)
+        b = rns.from_rns_centered(other.data, self.moduli)
+        prod = negacyclic_mul_exact(a, b)
+        return RnsPoly.from_int_coeffs(prod, self.moduli)
+
+    # --- structure --------------------------------------------------------
+
+    def automorphism(self, k: int) -> "RnsPoly":
+        """Apply the Galois map X -> X^k."""
+        dest, sign = automorphism_map(self.n, k)
+        out = np.zeros_like(self.data)
+        signed = self.data * sign  # safe: |value| < p < 2**31
+        for i, p in enumerate(self.moduli):
+            out[i][dest] = signed[i] % p  # k odd => dest is a permutation
+        return RnsPoly(out, self.moduli)
+
+    def negacyclic_shift(self, shift: int) -> "RnsPoly":
+        """Multiply by X^shift (shift may be negative)."""
+        n = self.n
+        shift %= 2 * n
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.moduli):
+            row = self.data[i]
+            rolled = np.roll(row, shift % n)
+            if shift % n:
+                rolled[: shift % n] = (-rolled[: shift % n]) % p
+            if shift >= n:
+                rolled = (-rolled) % p
+            out[i] = rolled
+        return RnsPoly(out, self.moduli)
+
+    # --- conversions --------------------------------------------------------
+
+    def to_int_coeffs(self, centered: bool = True) -> list[int]:
+        """CRT-lift to exact integer coefficients."""
+        if centered:
+            return rns.from_rns_centered(self.data, self.moduli)
+        return rns.from_rns(self.data, self.moduli)
+
+    def mod_switch(self, new_modulus: int) -> np.ndarray:
+        """Scale-and-round coefficients from Q to ``new_modulus``.
+
+        Returns a plain int64 vector (the target modulus is word-sized in
+        every use: the LWE modulus q' or the plaintext modulus t).
+        """
+        q = self.modulus
+        coeffs = self.to_int_coeffs(centered=False)
+        out = np.empty(self.n, dtype=np.int64)
+        for j, c in enumerate(coeffs):
+            out[j] = ((c * new_modulus + q // 2) // q) % new_modulus
+        return out
+
+    def inv_scalar(self, value: int) -> "RnsPoly":
+        """Multiply by value^-1 mod Q (per limb)."""
+        out = np.empty_like(self.data)
+        for i, p in enumerate(self.moduli):
+            out[i] = self.data[i] * inv_mod(value, p) % p
+        return RnsPoly(out, self.moduli)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RnsPoly):
+            return NotImplemented
+        return self.moduli == other.moduli and np.array_equal(self.data, other.data)

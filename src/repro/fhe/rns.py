@@ -1,0 +1,72 @@
+"""Residue Number System representation of big-modulus coefficient vectors.
+
+A ring element modulo Q = p_0 * p_1 * ... * p_{L-1} is stored as an (L, N)
+int64 matrix of residues. CRT lift/lower conversions go through Python big
+integers (exact); they are only needed at the "seams" — decryption rounding,
+ciphertext multiplication, modulus switching, and gadget decomposition — so
+their O(N*L) big-int cost is acceptable at test-scale parameters.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.modmath import crt_combine, inv_mod
+
+
+@lru_cache(maxsize=None)
+def _crt_constants(moduli: tuple[int, ...]) -> tuple[int, list[int], list[int]]:
+    """(Q, Q/p_i, (Q/p_i)^-1 mod p_i) for a modulus chain."""
+    q = 1
+    for p in moduli:
+        q *= p
+    partials = [q // p for p in moduli]
+    inverses = [inv_mod(part % p, p) for part, p in zip(partials, moduli)]
+    return q, partials, inverses
+
+
+def to_rns(values: Sequence[int] | np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+    """Reduce a vector of integers into an (L, N) residue matrix."""
+    out = np.empty((len(moduli), len(values)), dtype=np.int64)
+    for i, p in enumerate(moduli):
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            out[i] = np.mod(values, p)
+        else:
+            out[i] = [int(v) % p for v in values]
+    return out
+
+
+def from_rns(residues: np.ndarray, moduli: tuple[int, ...]) -> list[int]:
+    """CRT-lift an (L, N) residue matrix to exact integers in [0, Q)."""
+    if residues.shape[0] != len(moduli):
+        raise ParameterError("residue matrix does not match modulus chain")
+    q, partials, inverses = _crt_constants(moduli)
+    n = residues.shape[1]
+    out = [0] * n
+    for i, p in enumerate(moduli):
+        weight = partials[i] * inverses[i]
+        row = residues[i]
+        for j in range(n):
+            out[j] += int(row[j]) * weight
+    return [v % q for v in out]
+
+
+def from_rns_centered(residues: np.ndarray, moduli: tuple[int, ...]) -> list[int]:
+    """CRT-lift into the centered interval (-Q/2, Q/2]."""
+    q, _, _ = _crt_constants(moduli)
+    half = q // 2
+    return [v - q if v > half else v for v in from_rns(residues, moduli)]
+
+
+def rns_modulus(moduli: tuple[int, ...]) -> int:
+    """Product of the modulus chain."""
+    return _crt_constants(moduli)[0]
+
+
+def crt_single(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """CRT for a single coefficient (thin wrapper for readability)."""
+    return crt_combine(residues, moduli)

@@ -1,0 +1,113 @@
+"""Slot-to-Coefficient transform (paper Fig. 2, between Step 5 and Step 1).
+
+After FBS the activation values live in plaintext *slots*; the next
+convolution needs them as plaintext *coefficients*. Coefficients and slots
+are related by the linear evaluation map P (slots = P @ coeffs, a permuted
+NTT matrix over Z_t), so moving slot values into coefficients is the
+homomorphic evaluation of P on the slot vector:
+
+    slots(ct') = P @ slots(ct)   =>   coeffs(ct') = slots(ct).
+
+P is N x N while the rotation group acts on a 2 x (N/2) hypercube, so P is
+split into four (N/2)^2 blocks: the block-diagonal part applies directly and
+the anti-diagonal part applies to the row-swapped ciphertext. Both passes
+are BSGS Halevi-Shoup mat-vecs, giving the O(sqrt(N)) rotation cost the
+framework's complexity table assumes (the paper's O(cbrt(N)) three-stage
+factorization is a further constant-factor optimization of the same step).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fhe import slots as slotlib
+from repro.fhe.bfv import BfvCiphertext, BfvContext
+from repro.fhe.keys import KeySwitchKey, SecretKey
+from repro.fhe.packing import hypercube_matvec
+from repro.utils.modmath import root_of_unity
+
+
+@lru_cache(maxsize=None)
+def _slot_points(n: int, t: int) -> np.ndarray:
+    """Evaluation point of each hypercube slot (see repro.fhe.slots)."""
+    zeta = root_of_unity(2 * n, t)
+    points = np.empty(n, dtype=np.int64)
+    exp = 1
+    for j in range(n // 2):
+        points[j] = pow(zeta, exp, t)
+        points[n // 2 + j] = pow(zeta, 2 * n - exp, t)
+        exp = exp * 3 % (2 * n)
+    return points
+
+
+@lru_cache(maxsize=None)
+def _evaluation_matrix(n: int, t: int) -> np.ndarray:
+    """P[s, j] = point_s^j over Z_t: slots = P @ coeffs."""
+    points = _slot_points(n, t)
+    mat = np.empty((n, n), dtype=np.int64)
+    col = np.ones(n, dtype=np.int64)
+    for j in range(n):
+        mat[:, j] = col
+        col = col * points % t
+    return mat
+
+
+def _block_diagonals(top: np.ndarray, bot: np.ndarray, half: int) -> np.ndarray:
+    i = np.arange(half)
+    out = np.empty((half, 2 * half), dtype=np.int64)
+    for d in range(half):
+        cols = (i + d) % half
+        out[d, :half] = top[i, cols]
+        out[d, half:] = bot[i, cols]
+    return out
+
+
+@dataclass
+class S2CKey:
+    """Galois keys for the two S2C mat-vec passes plus the row swap."""
+
+    rotation_keys: dict[int, KeySwitchKey]
+    baby_steps: int
+
+    @classmethod
+    def generate(
+        cls, ctx: BfvContext, sk: SecretKey, baby_steps: int | None = None
+    ) -> "S2CKey":
+        half = ctx.params.n // 2
+        if baby_steps is None:
+            baby_steps = max(1, int(math.isqrt(half)))
+        amounts = set(range(1, baby_steps))
+        giant = -(-half // baby_steps)
+        amounts |= {g * baby_steps for g in range(1, giant)}
+        keys = ctx.rotation_keys(sk, amounts) if amounts else {}
+        swap = slotlib.row_swap_element(ctx.params.n)
+        keys.update(ctx.galois_keys(sk, [swap]))
+        return cls(keys, baby_steps)
+
+
+def slot_to_coeff(
+    ctx: BfvContext, ct: BfvCiphertext, key: S2CKey
+) -> BfvCiphertext:
+    """Return a ciphertext whose *coefficients* equal ``ct``'s slot values."""
+    params = ctx.params
+    n, t = params.n, params.t
+    half = n // 2
+    p = _evaluation_matrix(n, t)
+    p00, p01 = p[:half, :half], p[:half, half:]
+    p10, p11 = p[half:, :half], p[half:, half:]
+    direct = hypercube_matvec(
+        ctx, ct, _block_diagonals(p00, p11, half), key.rotation_keys, key.baby_steps
+    )
+    swapped = ctx.row_swap(ct, key.rotation_keys)
+    crossed = hypercube_matvec(
+        ctx,
+        swapped,
+        _block_diagonals(p01, p10, half),
+        key.rotation_keys,
+        key.baby_steps,
+    )
+    return ctx.add(direct, crossed)

@@ -1,0 +1,160 @@
+"""Binary serialization of ciphertexts and key material.
+
+In the paper's deployment model the client encrypts an image, ships
+ciphertexts to the datacenter, and receives encrypted results back, so
+stable wire formats matter. Formats are versioned, self-describing
+(parameter fingerprint included), and numpy-native:
+
+    [magic u32][version u16][kind u16][params fingerprint]
+    [payload: shapes + int64 little-endian arrays]
+
+Only public material round-trips by design: secret keys serialize behind
+an explicit ``allow_secret`` flag so they are never written accidentally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import struct
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.bfv import BfvCiphertext
+from repro.fhe.lwe import LweBatch
+from repro.fhe.params import PRESETS, FheParams
+from repro.fhe.poly import RnsPoly
+
+_MAGIC = 0x41544E41  # "ATNA"
+_VERSION = 1
+
+KIND_CIPHERTEXT = 1
+KIND_LWE_BATCH = 2
+KIND_SECRET_KEY = 3
+
+
+def params_fingerprint(params: FheParams) -> bytes:
+    """16-byte digest pinning (n, moduli, t, lwe_n)."""
+    material = f"{params.n}|{params.moduli}|{params.t}|{params.lwe_n}".encode()
+    return hashlib.sha256(material).digest()[:16]
+
+
+def _write_array(buf: io.BytesIO, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr, dtype="<i8")
+    buf.write(struct.pack("<B", arr.ndim))
+    for dim in arr.shape:
+        buf.write(struct.pack("<Q", dim))
+    buf.write(arr.tobytes())
+
+
+def _read_array(buf: io.BytesIO) -> np.ndarray:
+    (ndim,) = struct.unpack("<B", buf.read(1))
+    shape = tuple(struct.unpack("<Q", buf.read(8))[0] for _ in range(ndim))
+    count = int(np.prod(shape)) if shape else 1
+    data = buf.read(count * 8)
+    if len(data) != count * 8:
+        raise ParameterError("truncated serialized array")
+    return np.frombuffer(data, dtype="<i8").reshape(shape).astype(np.int64)
+
+
+def _header(kind: int, params: FheParams) -> bytes:
+    return struct.pack("<IHH", _MAGIC, _VERSION, kind) + params_fingerprint(params)
+
+
+def _check_header(buf: io.BytesIO, expected_kind: int, params: FheParams) -> None:
+    magic, version, kind = struct.unpack("<IHH", buf.read(8))
+    if magic != _MAGIC:
+        raise ParameterError("not a repro-serialized object")
+    if version != _VERSION:
+        raise ParameterError(f"unsupported serialization version {version}")
+    if kind != expected_kind:
+        raise ParameterError(f"expected kind {expected_kind}, found {kind}")
+    if buf.read(16) != params_fingerprint(params):
+        raise ParameterError("parameter fingerprint mismatch")
+
+
+# -- ciphertexts -------------------------------------------------------------
+
+
+def dump_ciphertext(ct: BfvCiphertext) -> bytes:
+    buf = io.BytesIO()
+    buf.write(_header(KIND_CIPHERTEXT, ct.params))
+    buf.write(struct.pack("<d", ct.noise_bits))
+    _write_array(buf, ct.c0.data)
+    _write_array(buf, ct.c1.data)
+    return buf.getvalue()
+
+
+def load_ciphertext(raw: bytes, params: FheParams) -> BfvCiphertext:
+    buf = io.BytesIO(raw)
+    _check_header(buf, KIND_CIPHERTEXT, params)
+    (noise_bits,) = struct.unpack("<d", buf.read(8))
+    c0 = RnsPoly(_read_array(buf), params.moduli)
+    c1 = RnsPoly(_read_array(buf), params.moduli)
+    if c0.data.shape != (params.num_limbs, params.n):
+        raise ParameterError("ciphertext shape does not match parameters")
+    return BfvCiphertext(c0, c1, params, noise_bits)
+
+
+# -- LWE batches ----------------------------------------------------------------
+
+
+def dump_lwe_batch(batch: LweBatch) -> bytes:
+    buf = io.BytesIO()
+    buf.write(struct.pack("<IHH", _MAGIC, _VERSION, KIND_LWE_BATCH))
+    buf.write(struct.pack("<Q", batch.modulus))
+    _write_array(buf, batch.a)
+    _write_array(buf, batch.b)
+    return buf.getvalue()
+
+
+def load_lwe_batch(raw: bytes) -> LweBatch:
+    buf = io.BytesIO(raw)
+    magic, version, kind = struct.unpack("<IHH", buf.read(8))
+    if magic != _MAGIC or kind != KIND_LWE_BATCH:
+        raise ParameterError("not a serialized LWE batch")
+    (modulus,) = struct.unpack("<Q", buf.read(8))
+    a = _read_array(buf)
+    b = _read_array(buf)
+    if a.shape[0] != b.shape[0]:
+        raise ParameterError("inconsistent LWE batch")
+    return LweBatch(a, b, int(modulus))
+
+
+# -- secret keys (explicit opt-in) -------------------------------------------------
+
+
+def dump_secret_key(sk, allow_secret: bool = False) -> bytes:
+    """Serialize a secret key. Requires ``allow_secret=True`` — exporting
+    secrets must never happen by accident."""
+    if not allow_secret:
+        raise ParameterError(
+            "refusing to serialize a secret key without allow_secret=True"
+        )
+    buf = io.BytesIO()
+    buf.write(_header(KIND_SECRET_KEY, sk.params))
+    _write_array(buf, sk.coeffs)
+    return buf.getvalue()
+
+
+def load_secret_key(raw: bytes, params: FheParams):
+    from repro.fhe.keys import SecretKey
+
+    buf = io.BytesIO(raw)
+    _check_header(buf, KIND_SECRET_KEY, params)
+    coeffs = _read_array(buf)
+    if coeffs.shape != (params.n,):
+        raise ParameterError("secret key length mismatch")
+    return SecretKey(params, RnsPoly.from_int_coeffs(coeffs, params.moduli), coeffs)
+
+
+def guess_params(raw: bytes) -> FheParams | None:
+    """Identify which preset a serialized object was produced under."""
+    if len(raw) < 24:
+        return None
+    fingerprint = raw[8:24]
+    for params in PRESETS.values():
+        if params_fingerprint(params) == fingerprint:
+            return params
+    return None

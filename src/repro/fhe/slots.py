@@ -1,0 +1,84 @@
+"""SIMD slot batching for BFV plaintexts.
+
+With a prime plaintext modulus t = 1 (mod 2N), R_t = Z_t[X]/(X^N+1) splits
+completely into N linear factors: a plaintext polynomial is equivalent to the
+vector of its evaluations at the odd powers of a primitive 2N-th root of
+unity zeta. We order the N slots as a 2 x (N/2) hypercube
+
+    slot (0, j) <-> evaluation at zeta^(3^j mod 2N)
+    slot (1, j) <-> evaluation at zeta^(-3^j mod 2N)
+
+so that the Galois automorphism X -> X^3 rotates both rows left by one and
+X -> X^-1 swaps the rows — exactly the rotation structure the packing and S2C
+matrix-vector products rely on.
+
+Encode/decode are O(N log N): a negacyclic NTT over Z_t plus a precomputed
+permutation that matches NTT output positions to hypercube slots.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.ntt import ntt_forward, ntt_inverse
+from repro.utils.modmath import root_of_unity
+
+
+@lru_cache(maxsize=None)
+def _slot_permutation(n: int, t: int) -> np.ndarray:
+    """perm[slot_index] = NTT output position holding that slot's evaluation.
+
+    Slot indices: 0..N/2-1 are row 0 (exponents 3^j), N/2..N-1 are row 1
+    (exponents -3^j).
+    """
+    if (t - 1) % (2 * n):
+        raise ParameterError(f"t={t} does not support {n} slots (need 2N | t-1)")
+    zeta = root_of_unity(2 * n, t)
+    # Evaluation points of each NTT output position: transform X (the monomial
+    # of degree 1); output j then literally equals its evaluation point.
+    x = np.zeros(n, dtype=np.int64)
+    x[1] = 1
+    points = ntt_forward(x, t)
+    position_of_value = {int(v): i for i, v in enumerate(points)}
+    if len(position_of_value) != n:
+        raise ParameterError("NTT evaluation points are not distinct")
+    perm = np.empty(n, dtype=np.int64)
+    exp = 1  # 3^j mod 2N
+    for j in range(n // 2):
+        perm[j] = position_of_value[pow(zeta, exp, t)]
+        perm[n // 2 + j] = position_of_value[pow(zeta, 2 * n - exp, t)]
+        exp = exp * 3 % (2 * n)
+    return perm
+
+
+def slot_encode(values: np.ndarray, n: int, t: int) -> np.ndarray:
+    """Encode a length-N vector over Z_t into plaintext polynomial coeffs."""
+    values = np.mod(np.asarray(values, dtype=np.int64), t)
+    if values.shape != (n,):
+        raise ParameterError(f"expected {n} slot values, got shape {values.shape}")
+    perm = _slot_permutation(n, t)
+    ntt_domain = np.zeros(n, dtype=np.int64)
+    ntt_domain[perm] = values
+    return ntt_inverse(ntt_domain, t)
+
+
+def slot_decode(coeffs: np.ndarray, n: int, t: int) -> np.ndarray:
+    """Decode plaintext polynomial coefficients into the N slot values."""
+    perm = _slot_permutation(n, t)
+    return ntt_forward(np.asarray(coeffs, dtype=np.int64).copy(), t)[perm]
+
+
+def rotation_galois_element(n: int, amount: int) -> int:
+    """Galois element k with sigma_k = rotate-rows-left-by-``amount``."""
+    return pow(3, amount % (n // 2), 2 * n)
+
+
+ROW_SWAP_GALOIS = -1  # sigma_{-1} (i.e. X -> X^(2N-1)) swaps the two rows
+
+
+def row_swap_element(n: int) -> int:
+    """Galois element performing the row swap on the 2 x (N/2) hypercube."""
+    return 2 * n - 1

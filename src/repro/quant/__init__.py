@@ -1,0 +1,24 @@
+"""Quantized CNN framework: float training engine, PTQ, integer IR."""
+
+from repro.quant.models import build, input_shape
+from repro.quant.quantize import (
+    QConv,
+    QLinear,
+    QResidual,
+    QuantConfig,
+    QuantizedModel,
+    fold_batchnorm,
+    quantize_model,
+)
+
+__all__ = [
+    "QConv",
+    "QLinear",
+    "QResidual",
+    "QuantConfig",
+    "QuantizedModel",
+    "build",
+    "fold_batchnorm",
+    "input_shape",
+    "quantize_model",
+]

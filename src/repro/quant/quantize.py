@@ -1,0 +1,540 @@
+"""Post-training quantization into the Athena integer IR (paper §3.1).
+
+The pipeline follows the classic three-step procedure the paper cites:
+activations quantized to ``a_bits`` with calibrated scales, integer multiply
+-accumulate, and a *remapping* back to the activation range. The remapping
+is expressed as a lookup table over the MAC value — exactly the object
+Athena evaluates under FHE with functional bootstrapping (remap and
+activation merged: ``LUT(x) = clip(round(act(x * scale_in * scale_w) /
+scale_out))``).
+
+The quantized model is an explicit IR (:class:`QConv`, :class:`QLinear`,
+:class:`QResidual`, pool/flatten ops). Its integer inference
+(:meth:`QuantizedModel.forward_int`) is bit-exact with what the Athena
+framework computes on ciphertexts, so plain-vs-cipher accuracy comparisons
+isolate precisely the FHE-induced noise — the property Table 5 measures.
+
+Residual blocks requantize both branches to a shared scale before the
+encrypted addition, then apply one post-add ReLU LUT; that is why the paper
+counts at least two bootstraps per residual block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant import nn
+from repro.quant.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Gelu,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+)
+
+#: Float activation layers that fuse into the remap LUT.
+_ACTIVATION_LAYERS = {ReLU: "relu", Sigmoid: "sigmoid", Gelu: "gelu"}
+
+
+def _merged_activation(layer) -> str | None:
+    for cls, name in _ACTIVATION_LAYERS.items():
+        if isinstance(layer, cls):
+            return name
+    return None
+
+
+#: Merged activations the remap LUT supports (paper §3.2.3/§3.4: "any
+#: non-linear function"): each maps a *float-domain* pre-activation to its
+#: float output; the remap quantizes the result.
+ACTIVATIONS: dict = {
+    "identity": lambda z: z,
+    "relu": lambda z: np.maximum(z, 0.0),
+    "sigmoid": lambda z: 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60))),
+    "gelu": lambda z: 0.5 * z * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (z + 0.044715 * z**3))),
+}
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """wXaY quantization configuration (paper evaluates w7a7 and w6a7)."""
+
+    w_bits: int = 7
+    a_bits: int = 7
+    t: int = 65537  # plaintext modulus the MACs must fit into
+
+    @property
+    def w_max(self) -> int:
+        return (1 << (self.w_bits - 1)) - 1
+
+    @property
+    def a_max(self) -> int:
+        return (1 << (self.a_bits - 1)) - 1
+
+    @property
+    def label(self) -> str:
+        return f"w{self.w_bits}a{self.a_bits}"
+
+
+# --------------------------------------------------------------------------
+# Quantized IR
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class QConv:
+    """Integer convolution + merged remap/activation LUT parameters.
+
+    ``out_max`` widens the remap range for pre-residual-add layers: both
+    branches of a residual block remap into a shared *wide* scale (~2^13)
+    so the encrypted addition happens at MAC-like magnitude, where the
+    modulus-switch noise e_ms only perturbs LSBs (see QResidual).
+    """
+
+    weight: np.ndarray  # int64 (out_ch, in_ch, k, k)
+    bias: np.ndarray  # int64 (out_ch,), in MAC scale
+    stride: int
+    pad: int
+    in_scale: float
+    w_scale: float
+    out_scale: float
+    activation: str  # 'relu' | 'identity'
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+    mac_peak: int = 0  # filled during integer inference (Fig. 4)
+    out_max: int | None = None  # None -> quant config a_max
+
+    @property
+    def remap_multiplier(self) -> float:
+        return self.in_scale * self.w_scale / self.out_scale
+
+    def remap(self, mac: np.ndarray, a_max: int) -> np.ndarray:
+        """LUT(x) = clip(round(act(x * mac_scale) / out_scale)) elementwise.
+
+        For relu/identity this reduces to the multiplier form; the general
+        float-domain form admits any activation in :data:`ACTIVATIONS`.
+        """
+        bound = self.out_max or a_max
+        z = ACTIVATIONS[self.activation](mac.astype(np.float64) * self.in_scale * self.w_scale)
+        return np.clip(np.rint(z / self.out_scale), -bound, bound).astype(np.int64)
+
+
+@dataclass
+class QLinear:
+    weight: np.ndarray  # int64 (out_f, in_f)
+    bias: np.ndarray  # int64 (out_f,)
+    in_scale: float
+    w_scale: float
+    out_scale: float
+    activation: str
+    in_features: int
+    out_features: int
+    mac_peak: int = 0
+    out_max: int | None = None
+
+    @property
+    def remap_multiplier(self) -> float:
+        return self.in_scale * self.w_scale / self.out_scale
+
+    def remap(self, mac: np.ndarray, a_max: int) -> np.ndarray:
+        bound = self.out_max or a_max
+        z = ACTIVATIONS[self.activation](mac.astype(np.float64) * self.in_scale * self.w_scale)
+        return np.clip(np.rint(z / self.out_scale), -bound, bound).astype(np.int64)
+
+
+@dataclass
+class QMaxPool:
+    kernel: int
+    stride: int
+
+
+@dataclass
+class QAvgPool:
+    """Average pooling as a sum plus LUT(x) = round(x / k^2)."""
+
+    kernel: int
+    stride: int
+    mac_peak: int = 0
+
+
+@dataclass
+class QGlobalAvgPool:
+    spatial: int  # H*W being averaged
+    mac_peak: int = 0
+
+
+@dataclass
+class QFlatten:
+    pass
+
+
+#: Wide intermediate range for pre-add branch remaps: large enough that
+#: the e_ms perturbation (std ~43) only touches LSBs of the sum, small
+#: enough that the two-branch sum stays far inside the plaintext modulus
+#: (2 * 8192 * ~1.1 << t/2 = 32768).
+RESIDUAL_WIDE_MAX = 8192
+
+
+@dataclass
+class QResidual:
+    """Quantized basic block in the wide-add form.
+
+    Both branches land at the shared ``add_scale`` with range ~2^13: the
+    body's last conv remaps (identity LUT) into it; a projection shortcut
+    does the same; an identity shortcut is lifted by the *exact* integer
+    factor ``skip_alpha`` (a noise-free ciphertext SMult). The encrypted
+    addition then happens at MAC-like magnitude and one post-add ReLU LUT
+    folds everything back to activation precision.
+    """
+
+    body: list
+    shortcut: list | None
+    add_scale: float
+    out_scale: float
+    skip_alpha: int = 1  # identity-skip integer rescale (1 for projections)
+    mac_peak: int = 0  # peak of the post-add sum (also a LUT input)
+
+    @property
+    def remap_multiplier(self) -> float:
+        return self.add_scale / self.out_scale
+
+    def remap(self, total: np.ndarray, a_max: int) -> np.ndarray:
+        z = np.maximum(total.astype(np.float64), 0)
+        return np.clip(np.rint(z * self.remap_multiplier), -a_max, a_max).astype(np.int64)
+
+
+@dataclass
+class QuantizedModel:
+    layers: list
+    config: QuantConfig
+    input_scale: float
+    input_shape: tuple[int, int, int]
+    name: str = "model"
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        q = np.rint(x / self.input_scale)
+        return np.clip(q, -self.config.a_max, self.config.a_max).astype(np.int64)
+
+    def forward_int(self, x_q: np.ndarray) -> np.ndarray:
+        """Exact integer inference; returns integer logits."""
+        return _run_layers(self.layers, x_q, self.config)
+
+    def forward_float(self, x: np.ndarray) -> np.ndarray:
+        return self.forward_int(self.quantize_input(x))
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch: int = 256) -> float:
+        correct = 0
+        for s in range(0, x.shape[0], batch):
+            logits = self.forward_float(x[s : s + batch])
+            correct += int((logits.argmax(axis=1) == y[s : s + batch]).sum())
+        return correct / x.shape[0]
+
+    def mac_layers(self):
+        """All IR nodes that produce a MAC consumed by a LUT (Fig. 4 x-axis)."""
+        out = []
+
+        def walk(layers):
+            for l in layers:
+                if isinstance(l, (QConv, QLinear, QAvgPool, QGlobalAvgPool)):
+                    out.append(l)
+                elif isinstance(l, QResidual):
+                    walk(l.body)
+                    if l.shortcut:
+                        walk(l.shortcut)
+                    out.append(l)
+
+        walk(self.layers)
+        return out
+
+    def max_mac(self) -> int:
+        return max((l.mac_peak for l in self.mac_layers()), default=0)
+
+    def check_t(self) -> bool:
+        """True when every observed MAC fits the plaintext modulus."""
+        return self.max_mac() <= self.config.t // 2
+
+
+# --------------------------------------------------------------------------
+# Integer inference
+# --------------------------------------------------------------------------
+
+
+def _int_conv(x_q: np.ndarray, layer: QConv) -> np.ndarray:
+    cols, oh, ow = nn._im2col(x_q, layer.weight.shape[2], layer.weight.shape[3],
+                              layer.stride, layer.pad)
+    wmat = layer.weight.reshape(layer.weight.shape[0], -1)
+    mac = cols @ wmat.T + layer.bias
+    return mac.transpose(0, 3, 1, 2)
+
+
+def _wrap_t(mac: np.ndarray, t: int) -> np.ndarray:
+    """Centered reduction mod t — the ciphertext MAC semantics.
+
+    For models whose MACs fit t (the paper's Fig. 4 condition) this is the
+    identity; when a MAC overflows it wraps exactly as it would in the BFV
+    plaintext ring, keeping plain-quant and encrypted inference bit-exact.
+    """
+    return (mac + t // 2) % t - t // 2
+
+
+def _run_layers(layers, x_q: np.ndarray, cfg: QuantConfig) -> np.ndarray:
+    for layer in layers:
+        if isinstance(layer, QConv):
+            mac = _int_conv(x_q, layer)
+            layer.mac_peak = max(layer.mac_peak, int(np.abs(mac).max()))
+            x_q = layer.remap(_wrap_t(mac, cfg.t), cfg.a_max)
+        elif isinstance(layer, QLinear):
+            mac = x_q @ layer.weight.T + layer.bias
+            layer.mac_peak = max(layer.mac_peak, int(np.abs(mac).max()))
+            x_q = layer.remap(_wrap_t(mac, cfg.t), cfg.a_max)
+        elif isinstance(layer, QMaxPool):
+            cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+            b, c = x_q.shape[0], x_q.shape[1]
+            x_q = (
+                cols.reshape(b, oh, ow, c, layer.kernel**2)
+                .max(axis=-1)
+                .transpose(0, 3, 1, 2)
+            )
+        elif isinstance(layer, QAvgPool):
+            cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+            b, c = x_q.shape[0], x_q.shape[1]
+            total = cols.reshape(b, oh, ow, c, layer.kernel**2).sum(axis=-1)
+            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
+            # LUT(x) = round(x / k^2)
+            x_q = np.rint(total / layer.kernel**2).astype(np.int64).transpose(0, 3, 1, 2)
+        elif isinstance(layer, QGlobalAvgPool):
+            total = x_q.sum(axis=(2, 3))
+            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
+            x_q = np.rint(total / layer.spatial).astype(np.int64)
+        elif isinstance(layer, QFlatten):
+            x_q = x_q.reshape(x_q.shape[0], -1)
+        elif isinstance(layer, QResidual):
+            main = _run_layers(layer.body, x_q, cfg)
+            skip = _run_layers(layer.shortcut, x_q, cfg) if layer.shortcut else x_q
+            total = main + skip * layer.skip_alpha
+            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
+            x_q = layer.remap(_wrap_t(total, cfg.t), cfg.a_max)
+        else:  # pragma: no cover
+            raise QuantizationError(f"unknown IR node {type(layer).__name__}")
+    return x_q
+
+
+# --------------------------------------------------------------------------
+# BatchNorm folding
+# --------------------------------------------------------------------------
+
+
+def fold_batchnorm(model: Sequential) -> Sequential:
+    """Return a copy of the model with every Conv+BN pair fused."""
+
+    def fold_list(layers: list) -> list:
+        out: list = []
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            nxt = layers[i + 1] if i + 1 < len(layers) else None
+            if isinstance(layer, Conv2d) and isinstance(nxt, BatchNorm2d):
+                out.append(_fuse(layer, nxt))
+                i += 2
+            elif isinstance(layer, Residual):
+                body = Sequential(*fold_list(layer.body.layers))
+                shortcut = (
+                    Sequential(*fold_list(layer.shortcut.layers))
+                    if isinstance(layer.shortcut, Sequential)
+                    else layer.shortcut
+                )
+                out.append(Residual(body, shortcut))
+                i += 1
+            elif isinstance(layer, Sequential):
+                out.append(Sequential(*fold_list(layer.layers)))
+                i += 1
+            else:
+                out.append(layer)
+                i += 1
+        return out
+
+    return Sequential(*fold_list(model.layers))
+
+
+def _fuse(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    scale = bn.gamma / np.sqrt(bn.running_var + bn.eps)
+    fused = Conv2d(conv.in_ch, conv.out_ch, conv.kernel, conv.stride, conv.pad, bias=True)
+    fused.weight = conv.weight * scale[:, None, None, None]
+    base_bias = conv.bias if conv.bias is not None else 0.0
+    fused.bias = (base_bias - bn.running_mean) * scale + bn.beta
+    fused.w_grad = np.zeros_like(fused.weight)
+    fused.b_grad = np.zeros_like(fused.bias)
+    return fused
+
+
+# --------------------------------------------------------------------------
+# Calibration + quantization
+# --------------------------------------------------------------------------
+
+
+def _quantize_weights(w: np.ndarray, w_max: int) -> tuple[np.ndarray, float]:
+    scale = max(float(np.abs(w).max()), 1e-12) / w_max
+    return np.clip(np.rint(w / scale), -w_max, w_max).astype(np.int64), scale
+
+
+def _act_scale(values: np.ndarray, a_max: int) -> float:
+    return max(float(np.abs(values).max()), 1e-12) / a_max
+
+
+def quantize_model(
+    model: Sequential,
+    calib_x: np.ndarray,
+    config: QuantConfig,
+    name: str = "model",
+) -> QuantizedModel:
+    """Fold BN, calibrate activation scales on ``calib_x``, emit integer IR."""
+    folded = fold_batchnorm(model)
+    a_max = config.a_max
+    input_scale = _act_scale(calib_x, a_max)
+    in_shape = tuple(calib_x.shape[1:])
+
+    def convert(layers: list, x_f: np.ndarray, in_scale: float):
+        """Returns (ir_list, out_float, out_scale)."""
+        ir: list = []
+        i = 0
+        scale = in_scale
+        while i < len(layers):
+            layer = layers[i]
+            nxt = layers[i + 1] if i + 1 < len(layers) else None
+            if isinstance(layer, Conv2d):
+                act = _merged_activation(nxt) or "identity"
+                z = layer.forward(x_f)
+                a = ACTIVATIONS[act](z)
+                out_scale = _act_scale(a, a_max)
+                w_q, w_scale = _quantize_weights(layer.weight, config.w_max)
+                bias = layer.bias if layer.bias is not None else np.zeros(layer.out_ch)
+                bias_q = np.rint(bias / (scale * w_scale)).astype(np.int64)
+                ir.append(
+                    QConv(
+                        weight=w_q,
+                        bias=bias_q,
+                        stride=layer.stride,
+                        pad=layer.pad,
+                        in_scale=scale,
+                        w_scale=w_scale,
+                        out_scale=out_scale,
+                        activation=act,
+                        in_shape=tuple(x_f.shape[1:]),
+                        out_shape=tuple(a.shape[1:]),
+                    )
+                )
+                x_f, scale = a, out_scale
+                i += 2 if act != "identity" else 1
+            elif isinstance(layer, Linear):
+                act = _merged_activation(nxt) or "identity"
+                z = layer.forward(x_f)
+                a = ACTIVATIONS[act](z)
+                out_scale = _act_scale(a, a_max)
+                w_q, w_scale = _quantize_weights(layer.weight, config.w_max)
+                bias_q = np.rint(layer.bias / (scale * w_scale)).astype(np.int64)
+                ir.append(
+                    QLinear(
+                        weight=w_q,
+                        bias=bias_q,
+                        in_scale=scale,
+                        w_scale=w_scale,
+                        out_scale=out_scale,
+                        activation=act,
+                        in_features=layer.weight.shape[1],
+                        out_features=layer.weight.shape[0],
+                    )
+                )
+                x_f, scale = a, out_scale
+                i += 2 if act != "identity" else 1
+            elif isinstance(layer, MaxPool2d):
+                ir.append(QMaxPool(layer.kernel, layer.stride))
+                x_f = layer.forward(x_f)
+                i += 1
+            elif isinstance(layer, AvgPool2d):
+                ir.append(QAvgPool(layer.kernel, layer.stride))
+                x_f = layer.forward(x_f)
+                i += 1
+            elif isinstance(layer, GlobalAvgPool):
+                ir.append(QGlobalAvgPool(spatial=x_f.shape[2] * x_f.shape[3]))
+                x_f = layer.forward(x_f)
+                i += 1
+            elif isinstance(layer, Flatten):
+                ir.append(QFlatten())
+                x_f = layer.forward(x_f)
+                i += 1
+            elif isinstance(layer, Residual):
+                node, x_f, scale = _convert_residual(layer, x_f, scale)
+                ir.append(node)
+                i += 1
+            elif _merged_activation(layer):
+                raise QuantizationError(
+                    "stray activation: must directly follow Conv2d/Linear"
+                )
+            else:
+                raise QuantizationError(f"cannot quantize {type(layer).__name__}")
+        return ir, x_f, scale
+
+    def _convert_residual(block: Residual, x_f: np.ndarray, in_scale: float):
+        # Both branches meet at a shared *wide* scale (see QResidual).
+        main_f = block.body.forward(x_f)
+        skip_f = block.shortcut.forward(x_f) if block.shortcut else x_f
+        total_f = main_f + skip_f
+        out_f = np.maximum(total_f, 0)
+        branch_peak = max(
+            float(np.abs(main_f).max()), float(np.abs(skip_f).max()), 1e-12
+        )
+        target_scale = branch_peak / RESIDUAL_WIDE_MAX
+        skip_alpha = 1
+        if block.shortcut is None:
+            # Identity skip arrives at in_scale as small integers; lift it
+            # with an exact integer factor so both branches share a scale
+            # with zero approximation error (plain == cipher exactly).
+            skip_alpha = max(1, round(in_scale / target_scale))
+            add_scale = in_scale / skip_alpha
+        else:
+            add_scale = target_scale
+        body_ir, _, _ = convert(block.body.layers, x_f, in_scale)
+        _retarget_tail(body_ir, add_scale)
+        shortcut_ir = None
+        if block.shortcut:
+            shortcut_ir, _, _ = convert(block.shortcut.layers, x_f, in_scale)
+            _retarget_tail(shortcut_ir, add_scale)
+        out_scale = _act_scale(out_f, a_max)
+        node = QResidual(
+            body=body_ir,
+            shortcut=shortcut_ir,
+            add_scale=add_scale,
+            out_scale=out_scale,
+            skip_alpha=skip_alpha,
+        )
+        return node, out_f, out_scale
+
+    def _retarget_tail(ir: list, add_scale: float) -> None:
+        tail = ir[-1]
+        if not isinstance(tail, (QConv, QLinear)):
+            raise QuantizationError("residual branch must end in conv/linear")
+        if tail.activation != "identity":
+            raise QuantizationError("pre-add layer must not carry an activation")
+        tail.out_scale = add_scale
+        tail.out_max = RESIDUAL_WIDE_MAX
+
+    ir, _, _ = convert(folded.layers, calib_x.astype(np.float64), input_scale)
+    # The classifier head keeps wide precision: softmax's exp LUT operates
+    # on the logits, and at int-a granularity the e_ms perturbation would
+    # swing exp() by whole quantization steps. Argmax is scale-invariant,
+    # so plain accuracy is unaffected.
+    tail = ir[-1] if ir else None
+    if isinstance(tail, QLinear) and tail.activation == "identity":
+        wide = RESIDUAL_WIDE_MAX // 4
+        tail.out_scale = tail.out_scale * a_max / wide
+        tail.out_max = wide
+    return QuantizedModel(ir, config, input_scale, in_shape, name=name)

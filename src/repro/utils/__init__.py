@@ -1,0 +1,25 @@
+"""Shared math and randomness utilities."""
+
+from repro.utils.modmath import (
+    centered,
+    centered_array,
+    crt_combine,
+    find_ntt_primes,
+    inv_mod,
+    is_prime,
+    primitive_root,
+    root_of_unity,
+)
+from repro.utils.sampling import Sampler
+
+__all__ = [
+    "Sampler",
+    "centered",
+    "centered_array",
+    "crt_combine",
+    "find_ntt_primes",
+    "inv_mod",
+    "is_prime",
+    "primitive_root",
+    "root_of_unity",
+]

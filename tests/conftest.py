@@ -1,0 +1,50 @@
+"""Shared fixtures: contexts and keys are expensive, so build them once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe.bfv import BfvContext
+from repro.fhe.params import TEST_FBS, TEST_SMALL, TEST_TINY
+
+
+@pytest.fixture(scope="session")
+def small_ctx():
+    return BfvContext(TEST_SMALL, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_keys(small_ctx):
+    return small_ctx.keygen()
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx():
+    return BfvContext(TEST_TINY, seed=202)
+
+
+@pytest.fixture(scope="session")
+def tiny_keys(tiny_ctx):
+    return tiny_ctx.keygen()
+
+
+@pytest.fixture(scope="session")
+def fbs_ctx():
+    return BfvContext(TEST_FBS, seed=303)
+
+
+@pytest.fixture(scope="session")
+def fbs_keys(fbs_ctx):
+    return fbs_ctx.keygen()
+
+
+@pytest.fixture(scope="session")
+def fbs_rlk(fbs_ctx, fbs_keys):
+    sk, _ = fbs_keys
+    return fbs_ctx.relin_key(sk)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,214 @@
+"""Tests for the accelerator simulator: configs, scheduler, energy, tables."""
+
+import numpy as np
+import pytest
+
+from repro.accel import baselines as B
+from repro.accel.configs import ALL_CONFIGS, ATHENA_ACCEL, SHARP, by_name
+from repro.accel.energy import athena_energy, baseline_energy, energy_for
+from repro.accel.scheduler import schedule, ScheduleResult
+from repro.accel.sensitivity import lane_sweep, precision_sweep_perf
+from repro.accel.workload import MODEL_NAMES, ckks_trace
+from repro.core.trace import OpCounts, WorkloadTrace
+from repro.errors import ScheduleError
+
+
+class TestConfigs:
+    def test_lookup(self):
+        assert by_name("athena") is ATHENA_ACCEL
+        with pytest.raises(KeyError):
+            by_name("tpu")
+
+    def test_paper_table9_totals(self):
+        assert ATHENA_ACCEL.area_mm2 == pytest.approx(116.4)
+        assert ATHENA_ACCEL.power_w == pytest.approx(148.1)
+        unit_area = sum(u.area_mm2 for u in ATHENA_ACCEL.units)
+        assert unit_area == pytest.approx(116.42, abs=0.1)
+
+    def test_table8_memory_values(self):
+        assert ATHENA_ACCEL.scratchpad_mb == 45
+        assert SHARP.scratchpad_mb == 180
+        assert by_name("bts").scratchpad_bw_tbs == 330
+
+    def test_athena_smaller_than_all_baselines(self):
+        for cfg in ALL_CONFIGS[1:]:
+            assert ATHENA_ACCEL.area_mm2 < cfg.area_mm2
+            assert ATHENA_ACCEL.scratchpad_mb < cfg.scratchpad_mb
+
+
+class TestCkksWorkload:
+    def test_all_models_build(self):
+        for name in MODEL_NAMES:
+            trace = ckks_trace(name)
+            assert trace.phases
+            assert trace.totals().mod_mul > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            ckks_trace("alexnet")
+
+    def test_resnet56_heavier_than_resnet20(self):
+        t20 = ckks_trace("resnet20").totals()
+        t56 = ckks_trace("resnet56").totals()
+        assert t56.mod_mul > 2 * t20.mod_mul
+        assert t56.ntt > 2 * t20.ntt
+
+    def test_bootstrap_dominates(self):
+        by_phase = ckks_trace("resnet20").by_phase()
+        assert by_phase["bootstrap"].mod_mul > by_phase["linear"].mod_mul
+
+
+class TestScheduler:
+    def test_empty_trace_raises(self):
+        trace = WorkloadTrace("x", B.ATHENA_PARAMS)
+        with pytest.raises(ScheduleError):
+            schedule(trace, ATHENA_ACCEL)
+
+    def test_more_resources_never_slower(self):
+        from dataclasses import replace
+
+        trace = ckks_trace("mnist_cnn")
+        slow = schedule(trace, replace(SHARP, mod_mul_tput=1024, mod_add_tput=1024))
+        fast = schedule(trace, replace(SHARP, mod_mul_tput=65536, mod_add_tput=65536))
+        assert fast.total_ms <= slow.total_ms
+
+    def test_phase_breakdown_sums_to_total(self):
+        res = schedule(ckks_trace("lenet"), SHARP)
+        assert sum(res.ms_by_phase().values()) == pytest.approx(res.total_ms)
+
+    def test_region_overlap_helps(self):
+        from dataclasses import replace
+
+        trace = B.reference_athena_trace("resnet20")
+        with_overlap = schedule(trace, replace(ATHENA_ACCEL, efficiency=1.0))
+        without = schedule(
+            trace, replace(ATHENA_ACCEL, efficiency=1.0, fbs_region_overlap=False)
+        )
+        assert with_overlap.total_ms < without.total_ms
+
+
+class TestCalibration:
+    def test_anchors_hit_exactly(self):
+        for name in ("craterlake", "ark", "bts", "sharp"):
+            ms = B.baseline_run(name, "resnet20").total_ms
+            assert ms == pytest.approx(B.CALIBRATION_ANCHORS_MS[name], rel=1e-6)
+
+    def test_athena_anchor(self):
+        assert B.athena_run("resnet20").total_ms == pytest.approx(65.5, rel=1e-6)
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def t6(self):
+        return B.table6()
+
+    def test_athena_fastest_everywhere(self, t6):
+        for m in MODEL_NAMES:
+            best_baseline = min(t6[a][m] for a in ("craterlake", "ark", "bts", "sharp"))
+            assert t6["athena-w7a7"][m] < best_baseline
+
+    def test_speedup_range_vs_sharp(self, t6):
+        # Paper: 1.5x - 2.3x over the best baseline (SHARP).
+        for m in ("lenet", "resnet20", "resnet56"):
+            speedup = t6["sharp"][m] / t6["athena-w7a7"][m]
+            assert 1.2 < speedup < 3.5
+
+    def test_w6a7_faster_than_w7a7(self, t6):
+        for m in MODEL_NAMES:
+            assert t6["athena-w6a7"][m] < t6["athena-w7a7"][m]
+
+    def test_bts_slowest(self, t6):
+        for m in MODEL_NAMES:
+            assert t6["bts"][m] == max(t6[a][m] for a in ("craterlake", "ark", "bts", "sharp"))
+
+    def test_predictions_within_2x_of_paper(self, t6):
+        for arch, row in t6.items():
+            paper = B.PAPER_TABLE6.get(arch, {})
+            for m, v in row.items():
+                if m in paper:
+                    assert 0.4 < v / paper[m] < 2.5, (arch, m)
+
+
+class TestEnergy:
+    def test_athena_energy_positive_breakdown(self):
+        res = B.athena_run("resnet20")
+        en = athena_energy(res, B.calibrated_athena())
+        assert en.energy_j > 0
+        assert en.edp > 0
+        assert all(v >= 0 for v in en.breakdown_j.values())
+
+    def test_memory_share_near_half(self):
+        # The Fig. 10 claim: memory ~50% of energy.
+        res = B.athena_run("resnet20")
+        en = athena_energy(res, B.calibrated_athena())
+        mem = sum(en.breakdown_j.get(k, 0) for k in ("hbm", "scratchpad", "register_file"))
+        assert 0.3 < mem / en.energy_j < 0.7
+
+    def test_average_power_below_peak(self):
+        res = B.athena_run("resnet20")
+        en = athena_energy(res, B.calibrated_athena())
+        avg_w = en.energy_j / (en.time_ms / 1e3)
+        assert avg_w < ATHENA_ACCEL.power_w
+
+    def test_baseline_energy_model(self):
+        res = B.baseline_run("sharp", "resnet20")
+        cfg = B.calibrated_baseline("sharp")
+        en = baseline_energy(res, cfg)
+        assert en.energy_j == pytest.approx(cfg.power_w * 0.7 * res.total_ms / 1e3)
+
+    def test_table7_athena_wins(self):
+        t7 = B.table7(("resnet20",))
+        best_baseline = min(
+            t7[a]["resnet20"] for a in ("craterlake", "ark", "bts", "sharp")
+        )
+        assert t7["athena-w7a7"]["resnet20"] < best_baseline
+
+    def test_edap_includes_area_advantage(self):
+        ed = B.edap(("resnet20",))
+        edp = B.table7(("resnet20",))
+        ratio_edp = edp["sharp"]["resnet20"] / edp["athena-w7a7"]["resnet20"]
+        ratio_edap = ed["sharp"]["resnet20"] / ed["athena-w7a7"]["resnet20"]
+        assert ratio_edap > ratio_edp  # area advantage compounds
+
+
+class TestCrossDeployment:
+    def test_fig8_ordering(self):
+        data = B.cross_deployment()
+        # Athena fastest; CraterLake (more MM/MA) beats SHARP on this workload.
+        assert data["athena"] < data["craterlake"] < data["sharp"]
+
+    def test_fig8_magnitudes(self):
+        data = B.cross_deployment()
+        assert data["sharp"] / data["athena"] > 3.0
+        assert data["craterlake"] / data["athena"] > 2.0
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return lane_sweep(lane_points=(256, 1024, 2048))
+
+    def test_full_lanes_normalized_to_one(self, sweep):
+        for p in sweep:
+            if p.lanes == 2048:
+                assert p.delay == pytest.approx(1.0)
+
+    def test_fru_most_sensitive(self, sweep):
+        # Paper Fig. 13: FRU dominates, then NTT; SE negligible.
+        at256 = {p.unit: p.delay for p in sweep if p.lanes == 256}
+        assert at256["fru"] >= at256["ntt"] > at256["automorphism"] >= at256["se"]
+        assert at256["se"] < 1.1
+
+    def test_delay_monotone_in_lanes(self, sweep):
+        for unit in ("fru", "ntt"):
+            series = sorted(
+                (p for p in sweep if p.unit == unit), key=lambda p: p.lanes
+            )
+            delays = [p.delay for p in series]
+            assert delays == sorted(delays, reverse=True)
+
+    def test_precision_sweep_shape(self):
+        perf = precision_sweep_perf()
+        # Fig. 12: monotone cost in precision; biggest jump w7a7 -> w8a8.
+        assert perf["w4a4"] < perf["w6a7"] < perf["w7a7"] < perf["w8a8"]
+        assert perf["w8a8"] / perf["w7a7"] > 1.4

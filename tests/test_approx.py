@@ -1,0 +1,103 @@
+"""Tests for the Fig. 1 polynomial-approximation study."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.approx import (
+    GROUND_TRUTH_BITS,
+    bit_accuracy,
+    chebyshev_coeffs,
+    eval_fixed_point,
+    relu,
+    sigmoid,
+    sweep,
+    taylor_coeffs,
+)
+
+
+class TestCoefficients:
+    def test_chebyshev_interpolates_sigmoid(self):
+        coeffs = chebyshev_coeffs(sigmoid, 16)
+        x = np.linspace(-1, 1, 101)
+        from numpy.polynomial import chebyshev as C
+
+        assert np.abs(C.chebval(x, coeffs) - sigmoid(x)).max() < 1e-6
+
+    def test_taylor_sigmoid_near_zero(self):
+        coeffs = taylor_coeffs("sigmoid", 7)
+        x = np.linspace(-0.3, 0.3, 31)
+        approx = np.polynomial.polynomial.polyval(x, coeffs)
+        assert np.abs(approx - sigmoid(x)).max() < 1e-6
+
+    def test_relu_fit_reasonable(self):
+        coeffs = taylor_coeffs("relu", 16)
+        x = np.linspace(-1, 1, 101)
+        approx = np.polynomial.polynomial.polyval(x, coeffs)
+        assert np.abs(approx - relu(x)).max() < 0.1
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            taylor_coeffs("tanh", 4)
+
+
+class TestFixedPointModel:
+    def test_high_delta_close_to_plain(self):
+        coeffs = chebyshev_coeffs(sigmoid, 8)
+        x = np.linspace(-1, 1, 101)
+        from numpy.polynomial import chebyshev as C
+
+        plain = C.chebval(x, coeffs)
+        fp = eval_fixed_point(coeffs, x, 40, "chebyshev")
+        assert np.abs(plain - fp).max() < 1e-4
+
+    def test_low_delta_degrades(self):
+        coeffs = chebyshev_coeffs(sigmoid, 8)
+        x = np.linspace(-1, 1, 101)
+        err25 = np.abs(eval_fixed_point(coeffs, x, 25, "chebyshev") - sigmoid(x)).max()
+        err35 = np.abs(eval_fixed_point(coeffs, x, 35, "chebyshev") - sigmoid(x)).max()
+        assert err25 > err35
+
+    def test_bit_accuracy_caps_at_ground_truth(self):
+        x = np.zeros(4)
+        assert bit_accuracy(x, x) == GROUND_TRUTH_BITS
+
+    def test_bit_accuracy_monotone(self):
+        exact = np.zeros(4)
+        assert bit_accuracy(exact + 1e-2, exact) < bit_accuracy(exact + 1e-6, exact)
+
+
+class TestSweepClaims:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep(orders=(4, 16, 64), deltas=(None, 25, 30, 35))
+
+    def _get(self, pts, fn, method, order, delta):
+        for p in pts:
+            if (p.function, p.method, p.order, p.delta_bits) == (fn, method, order, delta):
+                return p.accuracy_bits
+        raise KeyError
+
+    def test_delta25_collapses(self, points):
+        # Paper: "precision drops to around 2 bits" at Delta = 25.
+        assert self._get(points, "relu", "chebyshev", 64, 25) < 4
+        assert self._get(points, "sigmoid", "chebyshev", 64, 25) < 4
+
+    def test_orders_help_in_plaintext(self, points):
+        assert self._get(points, "sigmoid", "chebyshev", 64, None) > self._get(
+            points, "sigmoid", "chebyshev", 4, None
+        )
+
+    def test_relu_worse_than_sigmoid(self, points):
+        # "the gap ... is even larger for ReLU"
+        for delta in (None, 30, 35):
+            assert self._get(points, "relu", "chebyshev", 64, delta) < self._get(
+                points, "sigmoid", "chebyshev", 64, delta
+            )
+
+    def test_delta_ordering(self, points):
+        accs = [self._get(points, "sigmoid", "chebyshev", 16, d) for d in (25, 30, 35)]
+        assert accs[0] < accs[1] <= accs[2]
+
+    def test_gap_to_ground_truth_remains(self, points):
+        # Even the best encrypted setting stays far from 40 bits.
+        assert self._get(points, "relu", "chebyshev", 64, 35) < GROUND_TRUTH_BITS / 2

@@ -1,0 +1,128 @@
+"""Tests for the compact CKKS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseBudgetExhausted, ParameterError
+from repro.fhe.ckks import (
+    CKKS_TINY,
+    CkksContext,
+    CkksParams,
+    decode,
+    encode,
+)
+
+
+@pytest.fixture(scope="module")
+def ckks():
+    ctx = CkksContext(CKKS_TINY, seed=77)
+    sk, pk = ctx.keygen()
+    rlk = ctx.relin_key(sk)
+    return ctx, sk, pk, rlk
+
+
+class TestParams:
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ParameterError):
+            CkksParams("bad", n=100, scale_bits=30, num_limbs=2)
+
+    def test_rejects_wide_limbs(self):
+        with pytest.raises(ParameterError):
+            CkksParams("bad", n=64, scale_bits=40, num_limbs=2)
+
+    def test_moduli_are_ntt_friendly(self):
+        for m in CKKS_TINY.moduli:
+            assert m % (2 * CKKS_TINY.n) == 1
+
+
+class TestEncoding:
+    def test_roundtrip_real(self, rng):
+        z = rng.uniform(-2, 2, CKKS_TINY.slots)
+        pt = encode(z, CKKS_TINY, CKKS_TINY.scale, CKKS_TINY.num_limbs - 1)
+        back = decode(pt, CKKS_TINY, CKKS_TINY.scale)[: CKKS_TINY.slots]
+        assert np.abs(back.real - z).max() < 1e-5
+
+    def test_roundtrip_complex(self, rng):
+        z = rng.uniform(-1, 1, CKKS_TINY.slots) + 1j * rng.uniform(-1, 1, CKKS_TINY.slots)
+        pt = encode(z, CKKS_TINY, CKKS_TINY.scale, CKKS_TINY.num_limbs - 1)
+        back = decode(pt, CKKS_TINY, CKKS_TINY.scale)[: CKKS_TINY.slots]
+        assert np.abs(back - z).max() < 1e-5
+
+    def test_short_vector_padded(self):
+        pt = encode(np.array([1.0]), CKKS_TINY, CKKS_TINY.scale, 0)
+        back = decode(pt, CKKS_TINY, CKKS_TINY.scale)
+        assert abs(back[0].real - 1.0) < 1e-5
+
+    def test_too_many_values_raises(self):
+        with pytest.raises(ParameterError):
+            encode(np.zeros(CKKS_TINY.slots + 1), CKKS_TINY, CKKS_TINY.scale, 0)
+
+    def test_precision_scales_with_delta(self, rng):
+        # Core Fig. 1 mechanism: larger Delta => more precise encoding.
+        z = rng.uniform(-1, 1, CKKS_TINY.slots)
+        errs = []
+        for bits in (10, 20, 28):
+            pt = encode(z, CKKS_TINY, float(1 << bits), CKKS_TINY.num_limbs - 1)
+            back = decode(pt, CKKS_TINY, float(1 << bits))[: CKKS_TINY.slots]
+            errs.append(np.abs(back.real - z).max())
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestHomomorphic:
+    def test_encrypt_decrypt(self, ckks, rng):
+        ctx, sk, pk, _ = ckks
+        z = rng.uniform(-1, 1, ctx.params.slots)
+        assert np.abs(ctx.decrypt(ctx.encrypt(z, pk), sk).real - z).max() < 1e-4
+
+    def test_add_sub(self, ckks, rng):
+        ctx, sk, pk, _ = ckks
+        z1 = rng.uniform(-1, 1, ctx.params.slots)
+        z2 = rng.uniform(-1, 1, ctx.params.slots)
+        c1, c2 = ctx.encrypt(z1, pk), ctx.encrypt(z2, pk)
+        assert np.abs(ctx.decrypt(ctx.add(c1, c2), sk).real - (z1 + z2)).max() < 1e-4
+        assert np.abs(ctx.decrypt(ctx.sub(c1, c2), sk).real - (z1 - z2)).max() < 1e-4
+
+    def test_add_plain(self, ckks, rng):
+        ctx, sk, pk, _ = ckks
+        z1 = rng.uniform(-1, 1, ctx.params.slots)
+        z2 = rng.uniform(-1, 1, ctx.params.slots)
+        out = ctx.add_plain(ctx.encrypt(z1, pk), z2)
+        assert np.abs(ctx.decrypt(out, sk).real - (z1 + z2)).max() < 1e-4
+
+    def test_mult_rescale(self, ckks, rng):
+        ctx, sk, pk, rlk = ckks
+        z1 = rng.uniform(-1, 1, ctx.params.slots)
+        z2 = rng.uniform(-1, 1, ctx.params.slots)
+        prod = ctx.rescale(ctx.mult(ctx.encrypt(z1, pk), ctx.encrypt(z2, pk), rlk))
+        assert np.abs(ctx.decrypt(prod, sk).real - z1 * z2).max() < 1e-4
+
+    def test_mult_plain(self, ckks, rng):
+        ctx, sk, pk, _ = ckks
+        z1 = rng.uniform(-1, 1, ctx.params.slots)
+        z2 = rng.uniform(-1, 1, ctx.params.slots)
+        prod = ctx.rescale(ctx.mult_plain(ctx.encrypt(z1, pk), z2))
+        assert np.abs(ctx.decrypt(prod, sk).real - z1 * z2).max() < 1e-4
+
+    def test_depth_chain(self, ckks, rng):
+        ctx, sk, pk, rlk = ckks
+        z = rng.uniform(-1, 1, ctx.params.slots)
+        x = ctx.encrypt(z, pk)
+        for _ in range(2):
+            x = ctx.rescale(ctx.square(x, rlk))
+        assert np.abs(ctx.decrypt(x, sk).real - z**4).max() < 1e-3
+
+    def test_chain_exhaustion_raises(self, ckks, rng):
+        ctx, sk, pk, rlk = ckks
+        x = ctx.encrypt(rng.uniform(-1, 1, ctx.params.slots), pk)
+        for _ in range(ctx.params.num_limbs - 1):
+            x = ctx.rescale(ctx.mult_plain(x, np.ones(ctx.params.slots) * 0.5))
+        with pytest.raises(NoiseBudgetExhausted):
+            ctx.rescale(ctx.mult_plain(x, np.ones(ctx.params.slots)))
+
+    def test_level_mismatch_raises(self, ckks, rng):
+        ctx, sk, pk, rlk = ckks
+        z = rng.uniform(-1, 1, ctx.params.slots)
+        a = ctx.encrypt(z, pk)
+        b = ctx.rescale(ctx.mult_plain(ctx.encrypt(z, pk), z))
+        with pytest.raises(ParameterError):
+            ctx.add(a, b)

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_params_command(self, capsys):
+        assert main(["params", "test-tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "test-tiny" in out and "security" in out
+
+    def test_params_all(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "athena" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "table42"]) == 2
+
+    def test_static_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Athena" in out
+
+    def test_table8_experiment(self, capsys):
+        assert main(["experiment", "table8"]) == 0
+        assert "scratchpad" in capsys.readouterr().out
+
+    def test_infer_command(self, capsys, tmp_path, monkeypatch):
+        import repro.eval.zoo as zoo
+
+        monkeypatch.setattr(zoo, "ARTIFACTS", tmp_path)
+        monkeypatch.setitem(zoo.RECIPES, "mnist_cnn", (0.5, 1, 0.05, 256))
+        assert main(["infer", "mnist_cnn", "--count", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "ciphertext accuracy" in out
+
+    def test_ablation_command(self, capsys):
+        assert main(["ablation", "--model", "mnist_cnn"]) == 0
+        assert "no-two-region-dataflow" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Tests for key material: gadget decomposition and keyswitch keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fhe.bfv import BfvContext, Plaintext
+from repro.fhe.keys import (
+    KeySwitchKey,
+    SecretKey,
+    apply_keyswitch,
+    gadget_decompose,
+)
+from repro.fhe.params import TEST_TINY
+from repro.fhe.poly import RnsPoly
+from repro.utils.sampling import Sampler
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BfvContext(TEST_TINY, seed=55)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen()
+
+
+class TestGadgetDecompose:
+    def test_recomposition(self, rng):
+        p = TEST_TINY
+        poly = RnsPoly.from_int_coeffs(rng.integers(0, 10**9, p.n), p.moduli)
+        w = 6
+        digits = -(-p.q.bit_length() // w)
+        parts = gadget_decompose(poly, w, digits)
+        acc = RnsPoly.zeros(p.n, p.moduli)
+        power = 1
+        for d in parts:
+            acc = acc + d.scalar_mul(power)
+            power <<= w
+        assert acc == poly
+
+    def test_digits_bounded(self, rng):
+        p = TEST_TINY
+        poly = RnsPoly.from_int_coeffs(rng.integers(0, 10**6, p.n), p.moduli)
+        parts = gadget_decompose(poly, 6, -(-p.q.bit_length() // 6))
+        for d in parts:
+            coeffs = d.to_int_coeffs(centered=False)
+            assert max(coeffs) < 64
+
+    def test_too_few_digits_raises(self, rng):
+        p = TEST_TINY
+        poly = RnsPoly.from_int_coeffs([p.q - 1] + [0] * (p.n - 1), p.moduli)
+        with pytest.raises(ParameterError):
+            gadget_decompose(poly, 6, 2)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_recomposition_random(self, seed):
+        p = TEST_TINY
+        rng = np.random.default_rng(seed)
+        poly = RnsPoly.from_int_coeffs(rng.integers(0, 2**40, p.n), p.moduli)
+        parts = gadget_decompose(poly, 8, -(-p.q.bit_length() // 8))
+        acc = RnsPoly.zeros(p.n, p.moduli)
+        power = 1
+        for d in parts:
+            acc = acc + d.scalar_mul(power)
+            power <<= 8
+        assert acc == poly
+
+
+class TestKeySwitchKeys:
+    def test_keyswitch_moves_component(self, ctx, keys, rng):
+        """apply_keyswitch(c, KSK_{g->s}) must satisfy
+        out0 + out1*s ~ c*g (mod Q) up to small noise."""
+        sk, _ = keys
+        p = ctx.params
+        sampler = Sampler(77)
+        target = RnsPoly.from_int_coeffs(sampler.ternary(p.n), p.moduli)
+        ksk = KeySwitchKey.generate(target, sk, sampler)
+        component = RnsPoly.from_int_coeffs(rng.integers(0, 1000, p.n), p.moduli)
+        out0, out1 = apply_keyswitch(component, ksk)
+        phase = out0 + out1 * sk.poly
+        expected = component * target
+        residual = (phase - expected).to_int_coeffs(centered=True)
+        # noise ~ digits * N * 2^w * sigma, far below Q
+        assert max(abs(v) for v in residual) < p.q / 2**20
+
+    def test_secret_norm(self, keys):
+        sk, _ = keys
+        assert sk.norm_sq == int(np.sum(sk.coeffs**2))
+        assert sk.norm_sq <= TEST_TINY.n
+
+    def test_relin_key_enables_cmult(self, ctx, keys, rng):
+        sk, pk = keys
+        p = ctx.params
+        rlk = ctx.relin_key(sk)
+        m1 = rng.integers(0, 10, p.n)
+        m2 = rng.integers(0, 10, p.n)
+        out = ctx.cmult(
+            ctx.encrypt(Plaintext.from_coeffs(m1, p), pk),
+            ctx.encrypt(Plaintext.from_coeffs(m2, p), pk),
+            rlk,
+        )
+        from repro.fhe.ntt import negacyclic_mul_exact
+
+        expected = np.mod(negacyclic_mul_exact(list(m1), list(m2)), p.t)
+        assert np.array_equal(ctx.decrypt(out, sk).coeffs, expected)
+
+    def test_galois_key_wrong_element_breaks(self, ctx, keys, rng):
+        # Using a Galois key for the wrong element must NOT decrypt correctly
+        # (sanity check that keyswitching is element-specific).
+        sk, pk = keys
+        p = ctx.params
+        gk5 = ctx.galois_key(sk, 5)
+        v = rng.integers(0, p.t, p.n)
+        ct = ctx.encrypt(Plaintext.from_coeffs(v, p), pk)
+        wrong = ctx.apply_galois(ct, 3, gk5)  # element 3, key for 5
+        dec = ctx.decrypt(wrong, sk).coeffs
+        correct = ctx.decrypt(ctx.apply_galois(ct, 5, gk5), sk).coeffs
+        assert not np.array_equal(dec, correct)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.utils.modmath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.utils import modmath
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 65537, 257, 17):
+            assert modmath.is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 65536, 2**31):
+            assert not modmath.is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (561, 1105, 1729, 41041, 825265):
+            assert not modmath.is_prime(c)
+
+    def test_large_ntt_prime(self):
+        assert modmath.is_prime(1073479681)  # 30-bit, = 1 mod 2^16
+
+    @given(st.integers(min_value=4, max_value=10**6))
+    @settings(max_examples=200)
+    def test_matches_trial_division(self, n):
+        def trial(n):
+            if n < 2:
+                return False
+            d = 2
+            while d * d <= n:
+                if n % d == 0:
+                    return False
+                d += 1
+            return True
+
+        assert modmath.is_prime(n) == trial(n)
+
+
+class TestNttPrimes:
+    def test_finds_requested_count(self):
+        primes = modmath.find_ntt_primes(4, 30, 256)
+        assert len(primes) == 4
+        assert len(set(primes)) == 4
+        for p in primes:
+            assert modmath.is_prime(p)
+            assert p % 256 == 1
+            assert p < 2**30
+
+    def test_athena_limb_count(self):
+        primes = modmath.find_ntt_primes(24, 30, 2**16)
+        assert len(primes) == 24
+        assert all(p % 2**16 == 1 for p in primes)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ParameterError):
+            modmath.find_ntt_primes(1, 40, 256)
+
+    def test_rejects_non_pow2_order(self):
+        with pytest.raises(ParameterError):
+            modmath.find_ntt_primes(1, 30, 100)
+
+
+class TestRoots:
+    def test_primitive_root_order(self):
+        for p in (17, 257, 65537):
+            g = modmath.primitive_root(p)
+            seen = set()
+            acc = 1
+            for _ in range(p - 1):
+                acc = acc * g % p
+                seen.add(acc)
+            assert len(seen) == p - 1
+
+    def test_root_of_unity(self):
+        w = modmath.root_of_unity(512, modmath.find_ntt_primes(1, 30, 512)[0])
+        p = modmath.find_ntt_primes(1, 30, 512)[0]
+        assert pow(w, 512, p) == 1
+        assert pow(w, 256, p) != 1
+
+    def test_root_of_unity_rejects_bad_order(self):
+        with pytest.raises(ParameterError):
+            modmath.root_of_unity(7, 17)
+
+
+class TestInvMod:
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=100)
+    def test_inverse_property(self, a):
+        p = 1073479681
+        if a % p == 0:
+            a += 1
+        inv = modmath.inv_mod(a, p)
+        assert a * inv % p == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ParameterError):
+            modmath.inv_mod(6, 12)
+
+
+class TestCrt:
+    @given(st.integers(min_value=0, max_value=17 * 257 * 65537 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip(self, x):
+        moduli = [17, 257, 65537]
+        residues = [x % m for m in moduli]
+        assert modmath.crt_combine(residues, moduli) == x
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            modmath.crt_combine([1, 2], [3])
+
+
+class TestCentered:
+    def test_scalar(self):
+        assert modmath.centered(0, 7) == 0
+        assert modmath.centered(3, 7) == 3
+        assert modmath.centered(4, 7) == -3
+        assert modmath.centered(6, 7) == -1
+
+    def test_array_matches_scalar(self):
+        m = 257
+        x = np.arange(-300, 300)
+        arr = modmath.centered_array(x, m)
+        for xi, ai in zip(x, arr):
+            assert ai == modmath.centered(int(xi), m)
+
+    @given(st.integers(), st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=100)
+    def test_range_and_congruence(self, x, m):
+        c = modmath.centered(x, m)
+        assert -m // 2 <= c <= m // 2
+        assert (c - x) % m == 0

@@ -1,0 +1,217 @@
+"""Tests for LWE packing, slot-to-coefficient, and functional bootstrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fhe import lwe
+from repro.fhe.bfv import Plaintext
+from repro.fhe.fbs import (
+    FbsCost,
+    FbsLut,
+    evaluate_poly_plain,
+    fbs_evaluate,
+    interpolate_lut,
+)
+from repro.fhe.packing import PackingKey, pack_lwe
+from repro.fhe.s2c import S2CKey, slot_to_coeff, _evaluation_matrix, _slot_points
+from repro.fhe.slots import slot_decode, slot_encode
+from repro.utils.sampling import Sampler
+
+
+def make_lwe_batch(rng, count, dim, t, secret, noise_std=1.0, messages=None):
+    """Synthesize an LWE batch encrypting ``messages`` under ``secret``."""
+    if messages is None:
+        messages = rng.integers(0, t, count)
+    a = rng.integers(0, t, (count, dim)).astype(np.int64)
+    e = np.rint(rng.normal(0, noise_std, count)).astype(np.int64)
+    b = (messages + e - (a @ secret)) % t
+    return lwe.LweBatch(a, b.astype(np.int64), t), messages, e
+
+
+@pytest.fixture(scope="module")
+def packing_setup(tiny_ctx, tiny_keys):
+    sk, pk = tiny_keys
+    samp = Sampler(7)
+    s_small = samp.ternary(tiny_ctx.params.lwe_n)
+    pkey = PackingKey.generate(tiny_ctx, s_small, sk, pk)
+    return tiny_ctx, sk, pk, s_small, pkey
+
+
+class TestPacking:
+    def test_full_batch_exact(self, packing_setup, rng):
+        ctx, sk, _, s_small, pkey = packing_setup
+        p = ctx.params
+        batch, m, e = make_lwe_batch(rng, p.n, p.lwe_n, p.t, s_small)
+        packed = pack_lwe(ctx, batch, pkey)
+        dec = ctx.decrypt(packed, sk).to_slots()
+        # Packing performs homomorphic decryption: slots hold m + e exactly.
+        assert np.array_equal(dec, (m + e) % p.t)
+
+    def test_partial_batch_zero_pads(self, packing_setup, rng):
+        ctx, sk, _, s_small, pkey = packing_setup
+        p = ctx.params
+        count = p.n // 4
+        batch, m, e = make_lwe_batch(rng, count, p.lwe_n, p.t, s_small)
+        dec = ctx.decrypt(pack_lwe(ctx, batch, pkey), sk).to_slots()
+        assert np.array_equal(dec[:count], (m + e) % p.t)
+
+    def test_noiseless_lwe_packs_exactly(self, packing_setup, rng):
+        ctx, sk, _, s_small, pkey = packing_setup
+        p = ctx.params
+        batch, m, _ = make_lwe_batch(rng, p.n, p.lwe_n, p.t, s_small, noise_std=0.0)
+        dec = ctx.decrypt(pack_lwe(ctx, batch, pkey), sk).to_slots()
+        assert np.array_equal(dec, m % p.t)
+
+    def test_wrong_modulus_raises(self, packing_setup):
+        ctx, *_, pkey = packing_setup
+        bad = lwe.LweBatch(
+            np.zeros((1, ctx.params.lwe_n), dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            31,
+        )
+        with pytest.raises(ParameterError):
+            pack_lwe(ctx, bad, pkey)
+
+    def test_too_many_ciphertexts_raises(self, packing_setup, rng):
+        ctx, _, _, s_small, pkey = packing_setup
+        p = ctx.params
+        batch, *_ = make_lwe_batch(rng, p.n + 1, p.lwe_n, p.t, s_small)
+        with pytest.raises(ParameterError):
+            pack_lwe(ctx, batch, pkey)
+
+
+class TestS2C:
+    def test_evaluation_matrix_consistency(self):
+        # slots = P @ coeffs must agree with the NTT-based slot_decode.
+        n, t = 32, 257
+        rng = np.random.default_rng(0)
+        coeffs = rng.integers(0, t, n)
+        p = _evaluation_matrix(n, t)
+        via_matrix = (p @ coeffs) % t
+        assert np.array_equal(via_matrix, slot_decode(coeffs, n, t))
+
+    def test_slot_points_distinct(self):
+        pts = _slot_points(32, 257)
+        assert len(set(int(x) for x in pts)) == 32
+
+    def test_s2c_moves_slots_to_coeffs(self, tiny_ctx, tiny_keys, rng):
+        ctx = tiny_ctx
+        sk, pk = tiny_keys
+        p = ctx.params
+        key = S2CKey.generate(ctx, sk)
+        v = rng.integers(0, p.t, p.n)
+        ct = ctx.encrypt(Plaintext.from_slots(v, p), pk)
+        out = slot_to_coeff(ctx, ct, key)
+        assert np.array_equal(ctx.decrypt(out, sk).coeffs, v % p.t)
+
+    def test_s2c_linear(self, tiny_ctx, tiny_keys, rng):
+        ctx = tiny_ctx
+        sk, pk = tiny_keys
+        p = ctx.params
+        key = S2CKey.generate(ctx, sk)
+        v1 = rng.integers(0, p.t, p.n)
+        v2 = rng.integers(0, p.t, p.n)
+        c1 = ctx.encrypt(Plaintext.from_slots(v1, p), pk)
+        c2 = ctx.encrypt(Plaintext.from_slots(v2, p), pk)
+        out = slot_to_coeff(ctx, ctx.add(c1, c2), key)
+        assert np.array_equal(ctx.decrypt(out, sk).coeffs, (v1 + v2) % p.t)
+
+
+class TestLutInterpolation:
+    @pytest.mark.parametrize("t", [5, 17, 257])
+    def test_exhaustive(self, t):
+        rng = np.random.default_rng(t)
+        vals = rng.integers(0, t, t)
+        coeffs = interpolate_lut(vals, t)
+        assert np.array_equal(evaluate_poly_plain(coeffs, np.arange(t), t), vals)
+
+    def test_paper_relu_example(self):
+        # Paper §3.2.3: t=5, ReLU LUT -> FBS(x) = 3x + x^2 + 2x^4.
+        coeffs = interpolate_lut(np.array([0, 1, 2, 0, 0]), 5)
+        assert list(coeffs) == [0, 3, 1, 0, 2]
+
+    def test_constant_lut(self):
+        coeffs = interpolate_lut(np.full(17, 5), 17)
+        assert np.array_equal(evaluate_poly_plain(coeffs, np.arange(17), 17), np.full(17, 5))
+
+    def test_identity_lut(self):
+        t = 17
+        coeffs = interpolate_lut(np.arange(t), t)
+        # identity is the degree-1 polynomial x
+        expected = np.zeros(t, dtype=np.int64)
+        expected[1] = 1
+        assert np.array_equal(coeffs, expected)
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(ParameterError):
+            interpolate_lut(np.zeros(5), 17)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_luts_interpolate(self, seed):
+        t = 17
+        vals = np.random.default_rng(seed).integers(0, t, t)
+        coeffs = interpolate_lut(vals, t)
+        assert np.array_equal(evaluate_poly_plain(coeffs, np.arange(t), t), vals)
+
+
+class TestFbsLut:
+    def test_from_function_centered_domain(self):
+        lut = FbsLut.from_function(lambda x: np.maximum(x, 0), 257, "relu")
+        assert lut.values[5] == 5  # positive stays
+        assert lut.values[257 - 5] == 0  # -5 -> relu -> 0
+
+    def test_apply_plain_matches_poly(self, rng):
+        t = 257
+        lut = FbsLut.from_function(lambda x: np.abs(x), t)
+        x = rng.integers(0, t, 100)
+        assert np.array_equal(
+            lut.apply_plain(x), evaluate_poly_plain(lut.coeffs, x, t)
+        )
+
+
+@pytest.mark.slow
+class TestFbsHomomorphic:
+    def test_relu_lut_on_slots(self, fbs_ctx, fbs_keys, fbs_rlk, rng):
+        ctx = fbs_ctx
+        sk, pk = fbs_keys
+        p = ctx.params
+        lut = FbsLut.from_function(lambda x: np.maximum(x, 0), p.t, "relu")
+        x = rng.integers(0, p.t, p.n)
+        ct = ctx.encrypt(Plaintext.from_slots(x, p), pk)
+        cost = FbsCost()
+        out = fbs_evaluate(ctx, ct, lut, fbs_rlk, cost)
+        assert np.array_equal(ctx.decrypt(out, sk).to_slots(), lut.apply_plain(x))
+        # Alg. 2 cost shape: O(t) SMult, O(sqrt t) CMult.
+        assert cost.smult <= p.t
+        assert cost.cmult <= 3 * int(np.sqrt(p.t)) + 20
+
+    def test_remap_lut(self, fbs_ctx, fbs_keys, fbs_rlk, rng):
+        # LUT(x) = floor(relu(x) * scale) — remapping merged with activation.
+        ctx = fbs_ctx
+        sk, pk = fbs_keys
+        p = ctx.params
+        scale = 1 / 8
+        lut = FbsLut.from_function(
+            lambda v: np.floor(np.maximum(v, 0) * scale).astype(np.int64), p.t
+        )
+        x = rng.integers(0, p.t, p.n)
+        ct = ctx.encrypt(Plaintext.from_slots(x, p), pk)
+        out = fbs_evaluate(ctx, ct, lut, fbs_rlk)
+        assert np.array_equal(ctx.decrypt(out, sk).to_slots(), lut.apply_plain(x))
+
+    def test_low_degree_lut_is_cheap(self, fbs_ctx, fbs_keys, fbs_rlk, rng):
+        # identity LUT => degree-1 polynomial => no CMult at all
+        ctx = fbs_ctx
+        sk, pk = fbs_keys
+        p = ctx.params
+        lut = FbsLut(np.arange(p.t), p.t, "identity")
+        x = rng.integers(0, p.t, p.n)
+        ct = ctx.encrypt(Plaintext.from_slots(x, p), pk)
+        cost = FbsCost()
+        out = fbs_evaluate(ctx, ct, lut, fbs_rlk, cost)
+        assert cost.cmult == 0
+        assert np.array_equal(ctx.decrypt(out, sk).to_slots(), x % p.t)

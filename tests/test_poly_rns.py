@@ -1,0 +1,151 @@
+"""Tests for RNS representation and RnsPoly ring arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fhe import rns
+from repro.fhe.params import TEST_SMALL, TEST_TINY
+from repro.fhe.poly import RnsPoly, automorphism_map
+
+MODULI = TEST_TINY.moduli
+N = TEST_TINY.n
+
+
+def random_poly(rng, lo=-(10**6), hi=10**6, n=N, moduli=MODULI):
+    return RnsPoly.from_int_coeffs(rng.integers(lo, hi, n), moduli)
+
+
+class TestRnsConversions:
+    def test_roundtrip_small(self, rng):
+        vals = rng.integers(0, 1000, 16)
+        mat = rns.to_rns(vals, MODULI)
+        back = rns.from_rns(mat, MODULI)
+        assert list(vals) == back
+
+    def test_roundtrip_big_values(self):
+        q = rns.rns_modulus(MODULI)
+        vals = [q - 1, q // 2, q // 3, 12345678901234567890 % q]
+        mat = rns.to_rns(vals, MODULI)
+        assert rns.from_rns(mat, MODULI) == vals
+
+    def test_centered_range(self, rng):
+        q = rns.rns_modulus(MODULI)
+        vals = rng.integers(0, 10**9, 32)
+        mat = rns.to_rns(vals, MODULI)
+        for v in rns.from_rns_centered(mat, MODULI):
+            assert -q // 2 <= v <= q // 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            rns.from_rns(np.zeros((1, 4), dtype=np.int64), MODULI)
+
+    @given(st.integers(min_value=0))
+    @settings(max_examples=50)
+    def test_single_coeff_roundtrip(self, x):
+        q = rns.rns_modulus(MODULI)
+        x %= q
+        mat = rns.to_rns([x], MODULI)
+        assert rns.from_rns(mat, MODULI) == [x]
+
+
+class TestRnsPolyArithmetic:
+    def test_add_sub_neg(self, rng):
+        a = random_poly(rng)
+        b = random_poly(rng)
+        assert (a + b) - b == a
+        assert a + (-a) == RnsPoly.zeros(N, MODULI)
+
+    def test_mul_commutes(self, rng):
+        a = random_poly(rng)
+        b = random_poly(rng)
+        assert a * b == b * a
+
+    def test_mul_distributes(self, rng):
+        a, b, c = (random_poly(rng) for _ in range(3))
+        assert a * (b + c) == a * b + a * c
+
+    def test_mul_matches_exact(self, rng):
+        a = random_poly(rng)
+        b = random_poly(rng)
+        assert a * b == a.mul_exact_then_reduce(b)
+
+    def test_scalar_mul_big_scalar(self, rng):
+        a = random_poly(rng)
+        q = a.modulus
+        s = q - 3  # equivalent to -3
+        assert a.scalar_mul(s) == a.scalar_mul(-3)
+
+    def test_constant_identity(self, rng):
+        a = random_poly(rng)
+        one = RnsPoly.constant(1, N, MODULI)
+        assert a * one == a
+
+    def test_inv_scalar(self, rng):
+        a = random_poly(rng)
+        assert a.scalar_mul(7).inv_scalar(7) == a
+
+    def test_ring_mismatch_raises(self, rng):
+        a = random_poly(rng)
+        b = RnsPoly.zeros(TEST_SMALL.n, TEST_SMALL.moduli)
+        with pytest.raises(ParameterError):
+            _ = a + b
+
+
+class TestAutomorphism:
+    def test_composition(self, rng):
+        a = random_poly(rng)
+        assert a.automorphism(3).automorphism(3) == a.automorphism(9)
+
+    def test_identity(self, rng):
+        a = random_poly(rng)
+        assert a.automorphism(1) == a
+
+    def test_inverse_element(self, rng):
+        a = random_poly(rng)
+        # 3 * inv3 = 1 mod 2N => composition is identity
+        inv3 = pow(3, -1, 2 * N)
+        assert a.automorphism(3).automorphism(inv3) == a
+
+    def test_even_element_rejected(self):
+        with pytest.raises(ParameterError):
+            automorphism_map(N, 2)
+
+    def test_is_ring_homomorphism(self, rng):
+        a = random_poly(rng)
+        b = random_poly(rng)
+        k = 5
+        assert (a * b).automorphism(k) == a.automorphism(k) * b.automorphism(k)
+        assert (a + b).automorphism(k) == a.automorphism(k) + b.automorphism(k)
+
+
+class TestShiftAndModSwitch:
+    def test_shift_roundtrip(self, rng):
+        a = random_poly(rng)
+        for s in (1, 5, N - 1, N, 2 * N - 1):
+            assert a.negacyclic_shift(s).negacyclic_shift(-s) == a
+
+    def test_shift_full_cycle_negates(self, rng):
+        a = random_poly(rng)
+        assert a.negacyclic_shift(N) == -a
+        assert a.negacyclic_shift(2 * N) == a
+
+    def test_shift_matches_monomial_mul(self, rng):
+        a = random_poly(rng)
+        x5 = np.zeros(N, dtype=np.int64)
+        x5[5] = 1
+        mono = RnsPoly.from_int_coeffs(x5, MODULI)
+        assert a.negacyclic_shift(5) == a * mono
+
+    def test_mod_switch_preserves_message(self, rng):
+        # Scale a message up by Delta, switch down: recover it.
+        q = rns.rns_modulus(MODULI)
+        t = 257
+        delta = q // t
+        msg = rng.integers(0, t, N)
+        a = RnsPoly.from_int_coeffs(msg * 0, MODULI).scalar_mul(0)
+        scaled = RnsPoly.from_int_coeffs(msg, MODULI).scalar_mul(delta)
+        switched = scaled.mod_switch(t)
+        assert np.array_equal(switched % t, msg % t)

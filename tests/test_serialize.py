@@ -1,0 +1,101 @@
+"""Tests for the wire formats (ciphertexts, LWE batches, secret keys)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fhe import serialize
+from repro.fhe.bfv import Plaintext
+from repro.fhe.lwe import LweBatch
+from repro.fhe.params import TEST_SMALL, TEST_TINY
+
+
+class TestCiphertextRoundtrip:
+    def test_roundtrip_decrypts(self, tiny_ctx, tiny_keys, rng):
+        sk, pk = tiny_keys
+        p = tiny_ctx.params
+        m = rng.integers(0, p.t, p.n)
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs(m, p), pk)
+        raw = serialize.dump_ciphertext(ct)
+        back = serialize.load_ciphertext(raw, p)
+        assert np.array_equal(tiny_ctx.decrypt(back, sk).coeffs, m)
+        assert back.noise_bits == ct.noise_bits
+
+    def test_roundtrip_still_homomorphic(self, tiny_ctx, tiny_keys, rng):
+        sk, pk = tiny_keys
+        p = tiny_ctx.params
+        m = rng.integers(0, 20, p.n)
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs(m, p), pk)
+        back = serialize.load_ciphertext(serialize.dump_ciphertext(ct), p)
+        doubled = tiny_ctx.smult(back, 2)
+        assert np.array_equal(tiny_ctx.decrypt(doubled, sk).coeffs, 2 * m % p.t)
+
+    def test_wrong_params_rejected(self, tiny_ctx, tiny_keys, rng):
+        _, pk = tiny_keys
+        p = tiny_ctx.params
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs([1], p), pk)
+        raw = serialize.dump_ciphertext(ct)
+        with pytest.raises(ParameterError):
+            serialize.load_ciphertext(raw, TEST_SMALL)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError):
+            serialize.load_ciphertext(b"\x00" * 64, TEST_TINY)
+
+    def test_truncation_rejected(self, tiny_ctx, tiny_keys):
+        _, pk = tiny_keys
+        p = tiny_ctx.params
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs([1], p), pk)
+        raw = serialize.dump_ciphertext(ct)
+        with pytest.raises(ParameterError):
+            serialize.load_ciphertext(raw[: len(raw) // 2], p)
+
+
+class TestLweBatch:
+    def test_roundtrip(self, rng):
+        batch = LweBatch(
+            rng.integers(0, 257, (10, 16)).astype(np.int64),
+            rng.integers(0, 257, 10).astype(np.int64),
+            257,
+        )
+        back = serialize.load_lwe_batch(serialize.dump_lwe_batch(batch))
+        assert np.array_equal(back.a, batch.a)
+        assert np.array_equal(back.b, batch.b)
+        assert back.modulus == 257
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError):
+            serialize.load_lwe_batch(b"nope nope nope nope nope")
+
+
+class TestSecretKey:
+    def test_requires_opt_in(self, tiny_keys):
+        sk, _ = tiny_keys
+        with pytest.raises(ParameterError):
+            serialize.dump_secret_key(sk)
+
+    def test_roundtrip(self, tiny_ctx, tiny_keys, rng):
+        sk, pk = tiny_keys
+        p = tiny_ctx.params
+        raw = serialize.dump_secret_key(sk, allow_secret=True)
+        back = serialize.load_secret_key(raw, p)
+        # the restored key decrypts ciphertexts made under the original
+        m = rng.integers(0, p.t, p.n)
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs(m, p), pk)
+        assert np.array_equal(tiny_ctx.decrypt(ct, back).coeffs, m)
+
+
+class TestFingerprint:
+    def test_distinct_presets_distinct_fingerprints(self):
+        from repro.fhe.params import PRESETS
+
+        prints = {serialize.params_fingerprint(p) for p in PRESETS.values()}
+        assert len(prints) == len(PRESETS)
+
+    def test_guess_params(self, tiny_ctx, tiny_keys):
+        _, pk = tiny_keys
+        p = tiny_ctx.params
+        ct = tiny_ctx.encrypt(Plaintext.from_coeffs([1], p), pk)
+        raw = serialize.dump_ciphertext(ct)
+        assert serialize.guess_params(raw) is p
+        assert serialize.guess_params(b"xx") is None
