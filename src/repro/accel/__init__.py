@@ -40,6 +40,7 @@ __all__ = [
     "PAPER_TABLE6",
     "PAPER_TABLE7",
     "SHARP",
+    "AblationResult",
     "AcceleratorConfig",
     "EnergyResult",
     "ScheduleResult",
@@ -52,6 +53,8 @@ __all__ = [
     "cross_deployment",
     "edap",
     "energy_for",
+    "bound_census",
+    "phase_summary",
     "schedule",
     "render_schedule",
     "run_ablations",
@@ -59,4 +62,5 @@ __all__ = [
     "precision_sweep_perf",
     "table6",
     "table7",
+    "utilization",
 ]

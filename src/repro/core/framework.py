@@ -19,10 +19,20 @@ enough modulus for one full FBS depth (see ``TEST_LOOP`` in params).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.encoding import encode_features, encode_kernels
+from repro.core.program import (
+    AthenaProgram,
+    LinearStep,
+    PoolStep,
+    ProgramExecutor,
+    RemapStep,
+    ResidualStep,
+)
+from repro.core.program import run_program as _run_steps
 from repro.errors import ParameterError
 from repro.fhe import lwe as lwelib
 from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
@@ -40,11 +50,7 @@ class LoopCost:
     pmult: int = 0
     hadd: int = 0
     extractions: int = 0
-    fbs: FbsCost = None  # type: ignore[assignment]
-
-    def __post_init__(self):
-        if self.fbs is None:
-            self.fbs = FbsCost()
+    fbs: FbsCost = field(default_factory=FbsCost)
 
 
 class AthenaPipeline:
@@ -141,3 +147,131 @@ class AthenaPipeline:
         batch = self.refresh_to_lwe(out, positions, cost)
         boot = self.bootstrap(batch, lut, cost)
         return self.to_coeffs(boot) if s2c else boot
+
+    # -- lowered-program driver ------------------------------------------------
+
+    def run_program(
+        self,
+        program: AthenaProgram,
+        x_q: np.ndarray,
+        cost: LoopCost | None = None,
+    ) -> np.ndarray:
+        """Execute a lowered :class:`AthenaProgram` end to end on encrypted
+        data: encode + encrypt the quantized input client-side, run one
+        five-step round per LUT-bearing step, decrypt the tail.
+
+        The tail step's ``s2c=False`` flag (program fusion rule 4) is
+        honoured here: the final FBS output is decoded from slots directly.
+        Returns the centered integer outputs — comparable, up to FHE noise,
+        with ``QuantizedModel.forward_int`` on the same program.
+        """
+        ex = CiphertextExecutor(self, program, cost)
+        ct = _run_steps(program, ex, np.asarray(x_q, dtype=np.int64))
+        raw = self.decrypt_coeffs(ct) if ex.tail_s2c else self.decrypt_slots(ct)
+        vals = raw[: ex.out_count]
+        t = self.params.t
+        return np.where(vals > t // 2, vals - t, vals)
+
+
+class CiphertextExecutor(ProgramExecutor):
+    """Realizes program steps as real five-step rounds on a pipeline.
+
+    The flowing value is a BFV ciphertext. The *first* linear step instead
+    receives the raw quantized input array and performs the client-side
+    encode (including any zero-padding) + encrypt. Interior convolutions
+    must be pad-free: after S2C the previous round's outputs sit at
+    coefficients ``0..count-1`` in exactly the Eq. 1 feature layout
+    (extraction order is output-channel-major, matching
+    :func:`encode_features`), so layer chaining is layout-free only on the
+    unpadded grid.
+
+    Pooling, residual joins, and MAC-domain max-pool fusion need ciphertext
+    machinery (rotation-based repacking) this reduced-parameter backend does
+    not implement; those steps raise :class:`ParameterError`.
+    """
+
+    def __init__(
+        self,
+        pipe: AthenaPipeline,
+        program: AthenaProgram,
+        cost: LoopCost | None = None,
+    ):
+        self.pipe = pipe
+        self.program = program
+        self.cost = cost
+        self._luts: dict[int, FbsLut] = {}
+        self.out_count = 0
+        self.tail_s2c = True
+
+    def _lut(self, step) -> FbsLut:
+        got = self._luts.get(id(step))
+        if got is None:
+            got = step.lut.build(self.program.config, self.pipe.params.t)
+            self._luts[id(step)] = got
+        return got
+
+    def linear(self, step: LinearStep, value) -> BfvCiphertext:
+        pipe, params = self.pipe, self.pipe.params
+        layer = step.layer
+        if step.fused_pool is not None:
+            raise ParameterError(
+                "MAC-domain max-pool fusion is not implemented on the "
+                "real-ciphertext backend"
+            )
+        n = params.n
+        if step.op == "conv":
+            cin, h, w = layer.in_shape
+            if isinstance(value, np.ndarray):
+                m = value.reshape(cin, h, w)
+                if layer.pad:
+                    m = np.pad(m, ((0, 0), (layer.pad,) * 2, (layer.pad,) * 2))
+                ct = pipe.encrypt_coeffs(encode_features(m, n))
+            else:
+                if layer.pad:
+                    raise ParameterError(
+                        "interior convolutions must be pad-free for "
+                        "coefficient-encoded layer chaining"
+                    )
+                ct = value
+            hp, wp = h + 2 * layer.pad, w + 2 * layer.pad
+            kernel = encode_kernels(layer.weight, hp, wp, n)
+        else:
+            if isinstance(value, np.ndarray):
+                feat = value.reshape(layer.in_features, 1, 1)
+                ct = pipe.encrypt_coeffs(encode_features(feat, n))
+            else:
+                ct = value
+            # An FC layer is the Wk = H = W = 1 case of the Eq. 1 encoding.
+            kernel = encode_kernels(layer.weight[:, :, None, None], 1, 1, n)
+        positions = step.output_positions()
+        if positions.shape[0] > n:
+            raise ParameterError("more outputs than slots")
+        out = pipe.linear(ct, kernel, self.cost)
+        if np.any(layer.bias):
+            bias_coeffs = np.zeros(n, dtype=np.int64)
+            reps = positions.shape[0] // layer.bias.shape[0]
+            bias_coeffs[positions] = np.repeat(layer.bias, reps)
+            out = pipe.ctx.add_plain(out, Plaintext.from_coeffs(bias_coeffs, params))
+        batch = pipe.refresh_to_lwe(out, positions, self.cost)
+        boot = pipe.bootstrap(batch, self._lut(step), self.cost)
+        self.out_count = positions.shape[0]
+        self.tail_s2c = step.s2c
+        return pipe.to_coeffs(boot) if step.s2c else boot
+
+    def pool(self, step: PoolStep, value):
+        raise ParameterError(
+            f"pooling step {step.name!r} is not supported on the "
+            "real-ciphertext backend"
+        )
+
+    def remap(self, step: RemapStep, value):
+        raise ParameterError(
+            f"remap step {step.name!r} is not supported on the "
+            "real-ciphertext backend"
+        )
+
+    def residual(self, step: ResidualStep, main, skip):
+        raise ParameterError(
+            f"residual step {step.name!r} is not supported on the "
+            "real-ciphertext backend"
+        )

@@ -8,6 +8,11 @@ paper §3.3 (the e_ms distribution, validated against the real backend at
 small parameters in the test suite). This is what makes ResNet-20/56-scale
 accuracy experiments tractable in Python (DESIGN.md substitution #3).
 
+The engine consumes the lowered :class:`~repro.core.program.AthenaProgram`
+— the same schedule the plaintext forward, the trace generator, and the
+real-ciphertext backend execute — so fusion decisions (conv+max-pool in the
+MAC domain, residual wide-scale joins) can never drift between backends.
+
 The engine also records per-layer statistics: the error ratio Fig. 4 plots
 (fraction of LUT outputs flipped by noise), the MAC peaks Fig. 4's orange
 line plots, and the LUT-evaluation counts the accelerator trace consumes.
@@ -20,22 +25,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import lut as lutlib
+from repro.core.program import (
+    LinearStep,
+    PoolStep,
+    ProgramExecutor,
+    RemapStep,
+    ReshapeStep,
+    ResidualStep,
+    lower,
+    run_program,
+)
 from repro.fhe.fbs import FbsLut
 from repro.fhe.params import ATHENA, FheParams
 from repro.quant import nn
 from repro.quant.quantize import (
-    QAvgPool,
-    QConv,
-    QFlatten,
-    QGlobalAvgPool,
-    QLinear,
     QMaxPool,
-    QResidual,
     QuantizedModel,
     _int_conv,
     _wrap_t,
 )
+from repro.core import lut as lutlib
 
 
 @dataclass
@@ -116,6 +125,7 @@ class SimulatedAthenaEngine:
     ):
         self.model = model
         self.params = params
+        self.program = lower(model, params)
         self.rng = np.random.default_rng(seed)
         self.noise = noise if noise is not None else AthenaNoiseModel(params)
         self._luts: dict[int, FbsLut] = {}
@@ -123,11 +133,11 @@ class SimulatedAthenaEngine:
 
     # -- LUT cache ---------------------------------------------------------
 
-    def _lut(self, layer) -> FbsLut:
-        key = id(layer)
+    def _lut(self, step) -> FbsLut:
+        key = id(step)
         got = self._luts.get(key)
         if got is None:
-            got = lutlib.layer_lut(layer, self.model.config, self.params.t)
+            got = step.lut.build(self.model.config, self.params.t)
             self._luts[key] = got
         return got
 
@@ -137,7 +147,7 @@ class SimulatedAthenaEngine:
         """Encrypted-pipeline-faithful inference; returns integer logits."""
         stats = stats if stats is not None else InferenceStats()
         x_q = self.model.quantize_input(x)
-        return self._run(self.model.layers, x_q, stats)
+        return run_program(self.program, _SimulatedExecutor(self, stats), x_q)
 
     def infer_with_stats(self, x: np.ndarray) -> tuple[np.ndarray, InferenceStats]:
         stats = InferenceStats()
@@ -148,7 +158,7 @@ class SimulatedAthenaEngine:
         """Encrypted softmax (paper §3.2.3): exp LUT, reciprocal LUT of the
         sum, one CMult — with e_ms perturbation on both LUT rounds."""
         logits = self.infer(x)
-        tail_scale = self._final_scale()
+        tail_scale = self.program.final_scale()
         exp_lut, inv_lut, inv_levels = lutlib.softmax_luts(
             self.params.t, in_scale=tail_scale
         )
@@ -164,14 +174,6 @@ class SimulatedAthenaEngine:
         denom[denom == 0] = 1.0
         return probs / denom
 
-    def _final_scale(self) -> float:
-        from repro.quant.quantize import QLinear
-
-        for layer in reversed(self.model.layers):
-            if isinstance(layer, QLinear):
-                return layer.out_scale
-        return 1.0
-
     def accuracy(self, x: np.ndarray, y: np.ndarray, batch: int = 128) -> float:
         correct = 0
         for s in range(0, x.shape[0], batch):
@@ -179,7 +181,7 @@ class SimulatedAthenaEngine:
             correct += int((logits.argmax(axis=1) == y[s : s + batch]).sum())
         return correct / x.shape[0]
 
-    # -- layer execution -------------------------------------------------------
+    # -- step primitives -------------------------------------------------------
 
     def _apply_lut(
         self, mac: np.ndarray, lut: FbsLut, stat: LayerStat
@@ -195,62 +197,17 @@ class SimulatedAthenaEngine:
         noisy = _wrap_t(wrapped + self.noise.sample(self.rng, mac.shape), t)
         out = lut.apply_plain_signed(noisy)
         clean = lut.apply_plain_signed(wrapped)
-        out_range = int(np.abs(lut.apply_plain_signed(np.arange(t))).max())
-        threshold = max(1, out_range // (2 * self.model.config.a_max + 1))
+        threshold = max(1, lut.signed_range // (2 * self.model.config.a_max + 1))
         stat.mac_peak = max(stat.mac_peak, int(np.abs(mac).max()))
         stat.lut_evals += mac.size
         stat.flipped += int((np.abs(out - clean) >= threshold).sum())
         stat.total += mac.size
         return out
 
-    def _run(self, layers, x_q: np.ndarray, stats: InferenceStats) -> np.ndarray:
-        i = 0
-        while i < len(layers):
-            layer = layers[i]
-            nxt = layers[i + 1] if i + 1 < len(layers) else None
-            if isinstance(layer, QConv):
-                mac = _int_conv(x_q, layer)
-                if isinstance(nxt, QMaxPool):
-                    # Max-pool in the MAC domain: the remap LUT is monotone,
-                    # so pool-then-remap equals remap-then-pool exactly —
-                    # but MAC-scale values tolerate e_ms, int7 values do not.
-                    mac = self._maxpool(mac, nxt, stats.layer("maxpool"))
-                    i += 1
-                x_q = self._apply_lut(mac, self._lut(layer), stats.layer("conv"))
-            elif isinstance(layer, QLinear):
-                mac = x_q @ layer.weight.T + layer.bias
-                x_q = self._apply_lut(mac, self._lut(layer), stats.layer("fc"))
-            elif isinstance(layer, QMaxPool):
-                x_q = self._maxpool(x_q, layer, stats.layer("maxpool"))
-            elif isinstance(layer, QAvgPool):
-                cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
-                b, c = x_q.shape[0], x_q.shape[1]
-                total = cols.reshape(b, oh, ow, c, layer.kernel**2).sum(axis=-1)
-                out = self._apply_lut(total, self._lut(layer), stats.layer("avgpool"))
-                x_q = out.transpose(0, 3, 1, 2)
-            elif isinstance(layer, QGlobalAvgPool):
-                total = x_q.sum(axis=(2, 3))
-                x_q = self._apply_lut(total, self._lut(layer), stats.layer("gap"))
-            elif isinstance(layer, QFlatten):
-                x_q = x_q.reshape(x_q.shape[0], -1)
-            elif isinstance(layer, QResidual):
-                main = self._run(layer.body, x_q, stats)
-                skip = self._run(layer.shortcut, x_q, stats) if layer.shortcut else x_q
-                # skip_alpha is a noise-free ciphertext SMult (exact).
-                x_q = self._apply_lut(
-                    main + skip * layer.skip_alpha,
-                    self._lut(layer),
-                    stats.layer("residual-add"),
-                )
-            else:  # pragma: no cover
-                raise TypeError(f"unknown IR node {type(layer).__name__}")
-            i += 1
-        return x_q
-
     def _maxpool(self, x_q: np.ndarray, layer: QMaxPool, stat: LayerStat) -> np.ndarray:
         """Max-tree pooling: each pairwise max is one perturbed ReLU FBS."""
         t = self.params.t
-        cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+        cols, oh, ow = nn.im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
         b, c = x_q.shape[0], x_q.shape[1]
         vals = cols.reshape(b, oh, ow, c, layer.kernel**2)
         while vals.shape[-1] > 1:
@@ -271,3 +228,55 @@ class SimulatedAthenaEngine:
                 merged = np.concatenate([merged, vals[..., -1:]], axis=-1)
             vals = merged
         return vals[..., 0].transpose(0, 3, 1, 2)
+
+
+class _SimulatedExecutor(ProgramExecutor):
+    """Noise-faithful realization of each program step (the engine's walker).
+
+    Fused conv+max-pool steps run in the MAC domain — MAC-scale values
+    tolerate e_ms, int-a values do not — which for a monotone remap LUT is
+    exactly the plaintext executor's remap-then-pool result.
+    """
+
+    def __init__(self, engine: SimulatedAthenaEngine, stats: InferenceStats):
+        self.engine = engine
+        self.stats = stats
+
+    def linear(self, step: LinearStep, x_q: np.ndarray) -> np.ndarray:
+        engine = self.engine
+        layer = step.layer
+        if step.op == "conv":
+            mac = _int_conv(x_q, layer)
+        else:
+            mac = x_q @ layer.weight.T + layer.bias
+        if step.fused_pool is not None:
+            mac = engine._maxpool(mac, step.fused_pool, self.stats.layer("maxpool"))
+        return engine._apply_lut(mac, engine._lut(step), self.stats.layer(step.stat))
+
+    def pool(self, step: PoolStep, x_q: np.ndarray) -> np.ndarray:
+        layer = step.layer
+        if step.op == "max":
+            return self.engine._maxpool(x_q, layer, self.stats.layer("maxpool"))
+        if step.op == "sum":
+            cols, oh, ow = nn.im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
+            b, c = x_q.shape[0], x_q.shape[1]
+            return cols.reshape(b, oh, ow, c, layer.kernel**2).sum(axis=-1)
+        return x_q.sum(axis=(2, 3))  # gap
+
+    def remap(self, step: RemapStep, total: np.ndarray) -> np.ndarray:
+        out = self.engine._apply_lut(
+            total, self.engine._lut(step), self.stats.layer(step.stat)
+        )
+        return out.transpose(0, 3, 1, 2) if out.ndim == 4 else out
+
+    def reshape(self, step: ReshapeStep, x_q: np.ndarray) -> np.ndarray:
+        return x_q.reshape(x_q.shape[0], -1)
+
+    def residual(self, step: ResidualStep, main: np.ndarray,
+                 skip: np.ndarray) -> np.ndarray:
+        # skip_alpha is a noise-free ciphertext SMult (exact).
+        return self.engine._apply_lut(
+            main + skip * step.skip_alpha,
+            self.engine._lut(step),
+            self.stats.layer(step.stat),
+        )

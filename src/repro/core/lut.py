@@ -23,14 +23,7 @@ import numpy as np
 
 from repro.errors import QuantizationError
 from repro.fhe.fbs import FbsLut
-from repro.quant.quantize import (
-    QAvgPool,
-    QConv,
-    QGlobalAvgPool,
-    QLinear,
-    QResidual,
-    QuantConfig,
-)
+from repro.quant.quantize import QuantConfig
 
 
 def _centered_domain(t: int) -> np.ndarray:
@@ -57,21 +50,12 @@ def layer_lut(layer, cfg: QuantConfig, t: int | None = None) -> FbsLut:
     Built by tabulating the IR node's own ``remap`` over the centered
     domain, so the encrypted table is bit-exact with plaintext quantized
     inference for *any* merged activation (relu / sigmoid / gelu / ...).
+    The recipe itself lives in :func:`repro.core.program.lut_spec` — part
+    of the lowering pass, the one place Q-layer dispatch is allowed.
     """
-    t = t or cfg.t
-    a_max = cfg.a_max
-    if isinstance(layer, (QConv, QLinear, QResidual)):
-        domain = _centered_domain(t)
-        name = getattr(layer, "activation", "residual-add")
-        return FbsLut(layer.remap(domain, a_max), t, f"remap-{name}")
-    if isinstance(layer, QAvgPool):
-        k2 = layer.kernel**2
-        vals = np.rint(_centered_domain(t) / k2).astype(np.int64)
-        return FbsLut(vals, t, f"avgpool/{k2}")
-    if isinstance(layer, QGlobalAvgPool):
-        vals = np.rint(_centered_domain(t) / layer.spatial).astype(np.int64)
-        return FbsLut(vals, t, f"gap/{layer.spatial}")
-    raise QuantizationError(f"no LUT for {type(layer).__name__}")
+    from repro.core.program import lut_spec
+
+    return lut_spec(layer).build(cfg, t)
 
 
 # ---------------------------------------------------------------------------

@@ -26,17 +26,17 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.encoding import ConvShape, athena_plan
-from repro.fhe.params import ATHENA, FheParams
-from repro.quant.quantize import (
-    QAvgPool,
-    QConv,
-    QFlatten,
-    QGlobalAvgPool,
-    QLinear,
-    QMaxPool,
-    QResidual,
-    QuantizedModel,
+from repro.core.program import (
+    LinearStep,
+    PoolStep,
+    ProgramExecutor,
+    RemapStep,
+    ResidualStep,
+    lower,
+    run_program,
 )
+from repro.fhe.params import ATHENA, FheParams
+from repro.quant.quantize import QConv, QuantizedModel
 
 #: Hybrid keyswitching digit count (CraterLake-style dnum).
 DNUM = 3
@@ -301,6 +301,71 @@ def _lut_round(trace: WorkloadTrace, params: FheParams, layer_name: str,
     trace.add("s2c", layer_name, s2c_ops(params).scaled(cts))
 
 
+class TraceExecutor(ProgramExecutor):
+    """Accounting walker: emits phase op-counts per program step.
+
+    The flowing ``value`` is unused (``None`` throughout) — this executor
+    only appends to its trace. One deliberate divergence from the program's
+    fusion flags: the tail step's ``s2c=False`` is *ignored*, keeping the
+    legacy accounting (every LUT round bills its S2C) so pre/post-refactor
+    phase totals stay directly comparable.
+    """
+
+    def __init__(self, trace: WorkloadTrace, params: FheParams,
+                 t_eff: int | None = None):
+        self.trace = trace
+        self.params = params
+        self.t_eff = t_eff
+
+    def _t(self, layer) -> int:
+        return effective_t(layer, self.params, self.t_eff)
+
+    def linear(self, step: LinearStep, value) -> None:
+        trace, params = self.trace, self.params
+        layer = step.layer
+        t_layer = self._t(layer)
+        if step.op == "conv":
+            plan = athena_plan(_conv_shape(layer), params.n)
+            trace.add("linear", step.name, _pmult(params).scaled(plan.pmult))
+            if plan.hadd:
+                trace.add("linear", step.name, _hadd(params).scaled(plan.hadd))
+        else:
+            in_cts = max(1, -(-layer.in_features // params.n))
+            trace.add("linear", step.name, _pmult(params).scaled(in_cts))
+        if step.fused_pool is not None:
+            # Max-tree: k^2 - 1 pairwise maxima per window, each a full
+            # ReLU LUT round (refresh chain + FBS) batched SIMD-wide
+            # across windows (paper: O(k) FBS lookups).
+            pool = step.fused_pool
+            rounds = pool.kernel**2 - 1
+            cts = max(1, -(-step.out_values // params.n))
+            for r in range(rounds):
+                name = f"{step.name}.max{r}"
+                trace.add("pooling", name,
+                          se_chain_ops(params,
+                                       min(step.mac_values, cts * params.n)))
+                trace.add("pooling", name, packing_ops(params).scaled(cts))
+                _add_fbs(trace, params, "pooling", name, t_layer, cts)
+                trace.add("pooling", name, s2c_ops(params).scaled(cts))
+        _lut_round(trace, params, step.name, step.out_values, t_layer)
+
+    def pool(self, step: PoolStep, value) -> None:
+        # 'sum'/'gap' window additions are hadds folded into the following
+        # RemapStep's accounting; an unfused 'max' tree is not yet costed
+        # (no model in the zoo pools a non-monotone activation).
+        return None
+
+    def remap(self, step: RemapStep, value) -> None:
+        _add_fbs(self.trace, self.params, "pooling", step.name,
+                 self._t(step.source), 1)
+
+    def residual(self, step: ResidualStep, main, skip) -> None:
+        trace, params = self.trace, self.params
+        trace.add("linear", step.name, _hadd(params))
+        # post-add ReLU LUT round on the block's output
+        _lut_round(trace, params, step.name, params.n, self._t(step.layer))
+
+
 def trace_model(
     qmodel: QuantizedModel,
     params: FheParams = ATHENA,
@@ -313,67 +378,8 @@ def trace_model(
     lower quantization precision => smaller effective tables => cheaper FBS).
     """
     trace = WorkloadTrace(qmodel.name, params)
-
-    def visit(layers, prefix=""):
-        idx = 0
-        i = 0
-        while i < len(layers):
-            layer = layers[i]
-            nxt = layers[i + 1] if i + 1 < len(layers) else None
-            name = f"{prefix}{type(layer).__name__.lower()}{idx}"
-            if isinstance(layer, QConv):
-                t_layer = effective_t(layer, params, t_eff)
-                plan = athena_plan(_conv_shape(layer), params.n)
-                trace.add("linear", name, _pmult(params).scaled(plan.pmult))
-                if plan.hadd:
-                    trace.add("linear", name, _hadd(params).scaled(plan.hadd))
-                values = int(math.prod(layer.out_shape))
-                if isinstance(nxt, QMaxPool):
-                    # Max-tree: k^2 - 1 pairwise maxima per window, each a
-                    # full ReLU LUT round (refresh chain + FBS) batched
-                    # SIMD-wide across windows (paper: O(k) FBS lookups).
-                    pooled = values // (nxt.stride**2)
-                    rounds = nxt.kernel**2 - 1
-                    cts = max(1, -(-pooled // params.n))
-                    for r in range(rounds):
-                        trace.add("pooling", f"{name}.max{r}",
-                                  se_chain_ops(params, min(values, cts * params.n)))
-                        trace.add("pooling", f"{name}.max{r}",
-                                  packing_ops(params).scaled(cts))
-                        _add_fbs(trace, params, "pooling", f"{name}.max{r}",
-                                 t_layer, cts)
-                        trace.add("pooling", f"{name}.max{r}",
-                                  s2c_ops(params).scaled(cts))
-                    values = pooled
-                    i += 1
-                _lut_round(trace, params, name, values, t_layer)
-            elif isinstance(layer, QLinear):
-                t_layer = effective_t(layer, params, t_eff)
-                in_cts = max(1, -(-layer.in_features // params.n))
-                trace.add("linear", name, _pmult(params).scaled(in_cts))
-                _lut_round(trace, params, name, layer.out_features, t_layer)
-            elif isinstance(layer, QMaxPool):
-                values = 0  # standalone pools are handled with their conv
-            elif isinstance(layer, QAvgPool):
-                _add_fbs(trace, params, "pooling", name,
-                         effective_t(layer, params, t_eff), 1)
-            elif isinstance(layer, QGlobalAvgPool):
-                _add_fbs(trace, params, "pooling", name,
-                         effective_t(layer, params, t_eff), 1)
-            elif isinstance(layer, QResidual):
-                visit(layer.body, prefix=f"{name}.body.")
-                if layer.shortcut:
-                    visit(layer.shortcut, prefix=f"{name}.skip.")
-                trace.add("linear", name, _hadd(params))
-                # post-add ReLU LUT round on the block's output
-                _lut_round(trace, params, name, params.n,
-                           effective_t(layer, params, t_eff))
-            elif isinstance(layer, QFlatten):
-                pass
-            idx += 1
-            i += 1
-
-    visit(qmodel.layers)
+    program = lower(qmodel, params)
+    run_program(program, TraceExecutor(trace, params, t_eff))
     if softmax:
         # exp LUT + inverse LUT + one CMult (paper §3.2.3)
         _add_fbs(trace, params, "softmax", "softmax", t_eff or params.t, 2)

@@ -33,7 +33,6 @@ from repro.fhe.keys import (
     PublicKey,
     SecretKey,
     apply_keyswitch,
-    gadget_decompose,
 )
 from repro.fhe.ntt import negacyclic_mul_exact
 from repro.fhe.params import FheParams

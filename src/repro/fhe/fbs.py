@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable
 
 import numpy as np
@@ -123,6 +124,18 @@ class FbsLut:
         """Table lookup with the output re-centered into (-t/2, t/2]."""
         out = self.apply_plain(x)
         return np.where(out > self.t // 2, out - self.t, out)
+
+    @cached_property
+    def signed_range(self) -> int:
+        """max |LUT(x)| over the centered output domain, computed once.
+
+        Consumers (the simulated engine's flip threshold, trace levels)
+        previously rescanned all t entries on every layer call — at
+        t = 65537 that is a 65537-element reduction per LUT application.
+        """
+        centered = np.where(self.values > self.t // 2, self.values - self.t,
+                            self.values)
+        return int(np.abs(centered).max())
 
     @property
     def nonzero_terms(self) -> int:

@@ -33,8 +33,14 @@ class Layer:
         return []
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
-    """(B, C, H, W) -> (B, out_h, out_w, C*kh*kw) patch matrix."""
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """(B, C, H, W) -> (B, out_h, out_w, C*kh*kw) patch matrix.
+
+    The last axis is channel-major (c, then kh, then kw), matching the
+    weight-matrix reshape used by the conv layers and the quantized IR.
+    Shared by the float engine, the quantized integer forward, and the
+    simulated Athena engine.
+    """
     b, c, h, w = x.shape
     if pad:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
@@ -49,6 +55,10 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
     )
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, out_h, out_w, c * kh * kw)
     return cols, out_h, out_w
+
+
+#: Backwards-compatible alias (pre-1.1 name).
+_im2col = im2col
 
 
 def _col2im(cols: np.ndarray, x_shape, kh, kw, stride, pad):
@@ -85,7 +95,7 @@ class Conv2d(Layer):
         self._cache = None
 
     def forward(self, x, train=False):
-        cols, oh, ow = _im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        cols, oh, ow = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
         wmat = self.weight.reshape(self.out_ch, -1)
         out = cols @ wmat.T
         if self.bias is not None:
@@ -207,7 +217,7 @@ class MaxPool2d(Layer):
         self._cache = None
 
     def forward(self, x, train=False):
-        cols, oh, ow = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        cols, oh, ow = im2col(x, self.kernel, self.kernel, self.stride, 0)
         b, c = x.shape[0], x.shape[1]
         patches = cols.reshape(b, oh, ow, c, self.kernel * self.kernel)
         idx = patches.argmax(axis=-1)
@@ -233,7 +243,7 @@ class AvgPool2d(Layer):
         self._shape = None
 
     def forward(self, x, train=False):
-        cols, oh, ow = _im2col(x, self.kernel, self.kernel, self.stride, 0)
+        cols, oh, ow = im2col(x, self.kernel, self.kernel, self.stride, 0)
         b, c = x.shape[0], x.shape[1]
         patches = cols.reshape(b, oh, ow, c, self.kernel * self.kernel)
         if train:

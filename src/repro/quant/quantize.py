@@ -21,7 +21,7 @@ counts at least two bootstraps per residual block.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -219,14 +219,30 @@ class QuantizedModel:
     input_scale: float
     input_shape: tuple[int, int, int]
     name: str = "model"
+    _program: object = field(default=None, repr=False, compare=False)
 
     def quantize_input(self, x: np.ndarray) -> np.ndarray:
         q = np.rint(x / self.input_scale)
         return np.clip(q, -self.config.a_max, self.config.a_max).astype(np.int64)
 
+    def program(self):
+        """The lowered AthenaProgram (cached; see repro.core.program).
+
+        Mutating ``layers`` structurally invalidates the cache — reset
+        ``_program`` to None afterwards. Weight/scale edits on the existing
+        IR nodes are picked up automatically (the program references them).
+        """
+        if self._program is None:
+            from repro.core.program import lower
+
+            self._program = lower(self)
+        return self._program
+
     def forward_int(self, x_q: np.ndarray) -> np.ndarray:
         """Exact integer inference; returns integer logits."""
-        return _run_layers(self.layers, x_q, self.config)
+        from repro.core.program import PlainIntExecutor, run_program
+
+        return run_program(self.program(), PlainIntExecutor(self.config), x_q)
 
     def forward_float(self, x: np.ndarray) -> np.ndarray:
         return self.forward_int(self.quantize_input(x))
@@ -240,20 +256,7 @@ class QuantizedModel:
 
     def mac_layers(self):
         """All IR nodes that produce a MAC consumed by a LUT (Fig. 4 x-axis)."""
-        out = []
-
-        def walk(layers):
-            for l in layers:
-                if isinstance(l, (QConv, QLinear, QAvgPool, QGlobalAvgPool)):
-                    out.append(l)
-                elif isinstance(l, QResidual):
-                    walk(l.body)
-                    if l.shortcut:
-                        walk(l.shortcut)
-                    out.append(l)
-
-        walk(self.layers)
-        return out
+        return self.program().mac_sources()
 
     def max_mac(self) -> int:
         return max((l.mac_peak for l in self.mac_layers()), default=0)
@@ -264,13 +267,13 @@ class QuantizedModel:
 
 
 # --------------------------------------------------------------------------
-# Integer inference
+# Integer primitives (per-step execution lives in repro.core.program)
 # --------------------------------------------------------------------------
 
 
 def _int_conv(x_q: np.ndarray, layer: QConv) -> np.ndarray:
-    cols, oh, ow = nn._im2col(x_q, layer.weight.shape[2], layer.weight.shape[3],
-                              layer.stride, layer.pad)
+    cols, oh, ow = nn.im2col(x_q, layer.weight.shape[2], layer.weight.shape[3],
+                             layer.stride, layer.pad)
     wmat = layer.weight.reshape(layer.weight.shape[0], -1)
     mac = cols @ wmat.T + layer.bias
     return mac.transpose(0, 3, 1, 2)
@@ -284,48 +287,6 @@ def _wrap_t(mac: np.ndarray, t: int) -> np.ndarray:
     plaintext ring, keeping plain-quant and encrypted inference bit-exact.
     """
     return (mac + t // 2) % t - t // 2
-
-
-def _run_layers(layers, x_q: np.ndarray, cfg: QuantConfig) -> np.ndarray:
-    for layer in layers:
-        if isinstance(layer, QConv):
-            mac = _int_conv(x_q, layer)
-            layer.mac_peak = max(layer.mac_peak, int(np.abs(mac).max()))
-            x_q = layer.remap(_wrap_t(mac, cfg.t), cfg.a_max)
-        elif isinstance(layer, QLinear):
-            mac = x_q @ layer.weight.T + layer.bias
-            layer.mac_peak = max(layer.mac_peak, int(np.abs(mac).max()))
-            x_q = layer.remap(_wrap_t(mac, cfg.t), cfg.a_max)
-        elif isinstance(layer, QMaxPool):
-            cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
-            b, c = x_q.shape[0], x_q.shape[1]
-            x_q = (
-                cols.reshape(b, oh, ow, c, layer.kernel**2)
-                .max(axis=-1)
-                .transpose(0, 3, 1, 2)
-            )
-        elif isinstance(layer, QAvgPool):
-            cols, oh, ow = nn._im2col(x_q, layer.kernel, layer.kernel, layer.stride, 0)
-            b, c = x_q.shape[0], x_q.shape[1]
-            total = cols.reshape(b, oh, ow, c, layer.kernel**2).sum(axis=-1)
-            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
-            # LUT(x) = round(x / k^2)
-            x_q = np.rint(total / layer.kernel**2).astype(np.int64).transpose(0, 3, 1, 2)
-        elif isinstance(layer, QGlobalAvgPool):
-            total = x_q.sum(axis=(2, 3))
-            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
-            x_q = np.rint(total / layer.spatial).astype(np.int64)
-        elif isinstance(layer, QFlatten):
-            x_q = x_q.reshape(x_q.shape[0], -1)
-        elif isinstance(layer, QResidual):
-            main = _run_layers(layer.body, x_q, cfg)
-            skip = _run_layers(layer.shortcut, x_q, cfg) if layer.shortcut else x_q
-            total = main + skip * layer.skip_alpha
-            layer.mac_peak = max(layer.mac_peak, int(np.abs(total).max()))
-            x_q = layer.remap(_wrap_t(total, cfg.t), cfg.a_max)
-        else:  # pragma: no cover
-            raise QuantizationError(f"unknown IR node {type(layer).__name__}")
-    return x_q
 
 
 # --------------------------------------------------------------------------

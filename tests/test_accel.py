@@ -1,15 +1,14 @@
 """Tests for the accelerator simulator: configs, scheduler, energy, tables."""
 
-import numpy as np
 import pytest
 
 from repro.accel import baselines as B
 from repro.accel.configs import ALL_CONFIGS, ATHENA_ACCEL, SHARP, by_name
-from repro.accel.energy import athena_energy, baseline_energy, energy_for
-from repro.accel.scheduler import schedule, ScheduleResult
+from repro.accel.energy import athena_energy, baseline_energy
+from repro.accel.scheduler import schedule
 from repro.accel.sensitivity import lane_sweep, precision_sweep_perf
 from repro.accel.workload import MODEL_NAMES, ckks_trace
-from repro.core.trace import OpCounts, WorkloadTrace
+from repro.core.trace import WorkloadTrace
 from repro.errors import ScheduleError
 
 

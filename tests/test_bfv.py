@@ -2,14 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import NoiseBudgetExhausted, ParameterError
 from repro.fhe import slots as slotlib
-from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
+from repro.fhe.bfv import BfvCiphertext, Plaintext
 from repro.fhe.ntt import negacyclic_mul_exact
-from repro.fhe.params import TEST_SMALL, TEST_TINY
+from repro.fhe.params import TEST_TINY
 
 
 class TestPlaintext:

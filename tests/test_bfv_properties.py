@@ -6,7 +6,6 @@ messages at tiny parameters — the invariants every downstream layer
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -4,14 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core import lut as lutlib
-from repro.core.inference import (
-    AthenaNoiseModel,
-    InferenceStats,
-    SimulatedAthenaEngine,
-)
+from repro.core.inference import AthenaNoiseModel, SimulatedAthenaEngine
 from repro.data import synthetic_digits
 from repro.errors import QuantizationError
-from repro.fhe.params import ATHENA, TEST_SMALL
+from repro.fhe.params import ATHENA
 from repro.quant.models import mnist_cnn
 from repro.quant.nn import Sgd, train_epoch
 from repro.quant.quantize import QConv, QuantConfig, quantize_model

@@ -18,7 +18,6 @@ from repro.core.framework import AthenaPipeline, LoopCost
 from repro.core.lut import remap_lut
 from repro.fhe import lwe as lwelib
 from repro.fhe.params import TEST_LOOP
-from repro.fhe.bfv import Plaintext
 
 
 @pytest.fixture(scope="module")

@@ -7,12 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.fhe.bfv import BfvContext, Plaintext
-from repro.fhe.keys import (
-    KeySwitchKey,
-    SecretKey,
-    apply_keyswitch,
-    gadget_decompose,
-)
+from repro.fhe.keys import KeySwitchKey, apply_keyswitch, gadget_decompose
 from repro.fhe.params import TEST_TINY
 from repro.fhe.poly import RnsPoly
 from repro.utils.sampling import Sampler

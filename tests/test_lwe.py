@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.errors import ParameterError
 from repro.fhe import lwe
 from repro.fhe.bfv import Plaintext
-from repro.fhe.params import TEST_SMALL
 from repro.utils.sampling import Sampler
 
 

@@ -233,3 +233,71 @@ class TestLossAndTraining:
         lin.b_grad[...] = 0
         opt.step(lin.parameters())
         assert np.linalg.norm(lin.weight) < norm0
+
+
+class TestIm2col:
+    """Direct unit tests for the public patch-matrix primitive."""
+
+    @staticmethod
+    def _naive(x, kh, kw, stride, pad):
+        b, c, h, w = x.shape
+        if pad:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        oh = (h + 2 * pad - kh) // stride + 1
+        ow = (w + 2 * pad - kw) // stride + 1
+        cols = np.empty((b, oh, ow, c * kh * kw), dtype=x.dtype)
+        for bi in range(b):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[bi, :, i * stride : i * stride + kh,
+                              j * stride : j * stride + kw]
+                    cols[bi, i, j] = patch.reshape(-1)
+        return cols, oh, ow
+
+    @pytest.mark.parametrize(
+        "shape,kh,kw,stride,pad",
+        [
+            ((2, 3, 8, 8), 3, 3, 1, 0),
+            ((2, 3, 8, 8), 3, 3, 1, 1),  # 'same' padding
+            ((1, 2, 7, 7), 3, 3, 2, 1),  # stride 2, odd input
+            ((1, 1, 6, 6), 2, 2, 2, 0),  # pooling-style tiling
+            ((2, 4, 5, 9), 3, 3, 2, 2),  # non-square input, pad > 1
+            ((1, 2, 5, 5), 1, 1, 1, 0),  # pointwise
+            ((1, 1, 4, 4), 4, 4, 1, 0),  # kernel == input (single patch)
+            ((1, 2, 3, 3), 3, 3, 1, 2),  # padding larger than border
+            ((1, 3, 6, 6), 2, 3, 1, 0),  # non-square kernel
+            ((1, 1, 9, 9), 3, 3, 3, 0),  # stride == kernel, exact tiling
+            ((1, 1, 8, 8), 3, 3, 5, 0),  # stride > kernel (skipped pixels)
+        ],
+    )
+    def test_matches_naive_reference(self, rng, shape, kh, kw, stride, pad):
+        x = rng.integers(-9, 10, shape).astype(np.int64)
+        cols, oh, ow = nn.im2col(x, kh, kw, stride, pad)
+        ref, roh, row = self._naive(x, kh, kw, stride, pad)
+        assert (oh, ow) == (roh, row)
+        assert np.array_equal(cols, ref)
+
+    def test_channel_major_last_axis(self, rng):
+        """Last axis must be (c, kh, kw)-ordered — the weight reshape and the
+        quantized engines' window reductions both rely on it."""
+        x = rng.normal(size=(1, 3, 4, 4))
+        cols, _, _ = nn.im2col(x, 2, 2, 1, 0)
+        patch = cols[0, 1, 2].reshape(3, 2, 2)
+        assert np.array_equal(patch, x[0, :, 1:3, 2:4])
+
+    def test_single_patch_flattens_whole_image(self, rng):
+        x = rng.normal(size=(2, 2, 3, 3))
+        cols, oh, ow = nn.im2col(x, 3, 3, 1, 0)
+        assert (oh, ow) == (1, 1)
+        assert np.array_equal(cols[:, 0, 0], x.reshape(2, -1))
+
+    def test_output_not_writeable_view_corruption(self, rng):
+        """im2col must return patches that are safe to reshape/reduce."""
+        x = rng.integers(0, 5, (1, 1, 4, 4)).astype(np.int64)
+        cols, _, _ = nn.im2col(x, 2, 2, 2, 0)
+        summed = cols.sum(axis=-1)
+        assert summed.shape == (1, 2, 2)
+        assert summed[0, 0, 0] == x[0, 0, :2, :2].sum()
+
+    def test_legacy_alias_preserved(self):
+        assert nn._im2col is nn.im2col

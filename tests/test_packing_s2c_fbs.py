@@ -17,7 +17,7 @@ from repro.fhe.fbs import (
 )
 from repro.fhe.packing import PackingKey, pack_lwe
 from repro.fhe.s2c import S2CKey, slot_to_coeff, _evaluation_matrix, _slot_points
-from repro.fhe.slots import slot_decode, slot_encode
+from repro.fhe.slots import slot_decode
 from repro.utils.sampling import Sampler
 
 

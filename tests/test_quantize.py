@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data import synthetic_cifar, synthetic_digits
-from repro.errors import QuantizationError
 from repro.quant.models import build, input_shape, lenet, mnist_cnn, resnet20
 from repro.quant.nn import BatchNorm2d, Conv2d, ReLU, Sequential, Sgd, train_epoch
 from repro.quant.quantize import (
@@ -12,7 +11,6 @@ from repro.quant.quantize import (
     QLinear,
     QResidual,
     QuantConfig,
-    QuantizedModel,
     _wrap_t,
     fold_batchnorm,
     quantize_model,

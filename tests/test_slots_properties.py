@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.fhe import slots as slotlib
 from repro.fhe.ntt import negacyclic_mul_exact
 from repro.fhe.slots import (
     _slot_permutation,

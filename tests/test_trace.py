@@ -16,7 +16,7 @@ from repro.core.trace import (
 from repro.data import synthetic_digits
 from repro.fhe.params import ATHENA
 from repro.quant.models import lenet, mnist_cnn
-from repro.quant.quantize import QConv, QuantConfig, quantize_model
+from repro.quant.quantize import QuantConfig, quantize_model
 
 
 @pytest.fixture(scope="module")
