@@ -1,0 +1,25 @@
+"""Execution-engine benchmark: the ``repro bench`` harness under pytest.
+
+Thin wrapper over :mod:`repro.perf.bench` (the importable implementation
+behind the ``repro bench`` CLI command) so the pipeline benchmarks run with
+the rest of the ``benchmarks/`` suite and leave a ``BENCH_pipeline.json``
+artifact next to the other regenerated outputs.
+"""
+
+import json
+
+from repro.perf.bench import BENCH_SCHEMA, run_benches
+
+
+def test_bench_pipeline(once, tmp_path):
+    out = tmp_path / "BENCH_pipeline.json"
+    records = once(run_benches, out=str(out), quick=True)
+    print("\n" + json.dumps(records, indent=2))
+    assert [r["bench"] for r in records] == ["mnist_cnn", "resnet20_block"]
+    for record in records:
+        assert all(key in record for key in BENCH_SCHEMA)
+        assert record["wall_s"] > 0
+        assert record["speedup_vs_serial"] is not None
+    # The batched RNS path must beat the frozen per-prime loop on the
+    # ResNet-20 block microbench (the acceptance target is >= 2x).
+    assert records[1]["speedup_vs_serial"] >= 1.5

@@ -7,13 +7,63 @@ Commands:
                                (``table1``..``table9``, ``fig1``..``fig13``).
 * ``train <model>``          — train + quantize a benchmark into the zoo.
 * ``infer <model>``          — encrypted-pipeline inference on test images.
+* ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json.
 * ``ablation``               — accelerator design-choice ablations.
+
+Exit codes are uniform across commands: 0 on success, 1 when the library
+reports a failure (:class:`repro.errors.ReproError`), 2 on usage errors
+(argparse's own convention). ``experiment``, ``infer``, and ``bench`` share
+the output parent parser: ``--json`` switches to machine-readable output and
+``--out PATH`` redirects it to a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+from repro.errors import ReproError
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+_MODELS = ["mnist_cnn", "lenet", "resnet20", "resnet56"]
+
+
+# -- shared parent parsers ---------------------------------------------------
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help="RNG seed")
+    return parent
+
+
+def _output_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parent.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write output to PATH instead of stdout",
+    )
+    return parent
+
+
+def _emit(args: argparse.Namespace, text: str, payload) -> None:
+    """Route command output per the shared --json/--out flags."""
+    body = json.dumps(payload, indent=2) + "\n" if args.json else text
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(body)
+    else:
+        sys.stdout.write(body)
+
+
+# -- commands ----------------------------------------------------------------
 
 
 def _cmd_params(args: argparse.Namespace) -> int:
@@ -29,7 +79,7 @@ def _cmd_params(args: argparse.Namespace) -> int:
             f"    security: RLWE {sec['rlwe_bits']:.0f} bits, "
             f"LWE {sec['lwe_bits']:.0f} bits"
         )
-    return 0
+    return EXIT_OK
 
 
 _EXPERIMENTS = {
@@ -63,11 +113,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         print(f"unknown experiment {args.id!r}; options: "
               f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
-        return 2
-    for exp in ids:
-        print(getattr(ev, _EXPERIMENTS[exp])())
-        print()
-    return 0
+        return EXIT_USAGE
+    rendered = {exp: getattr(ev, _EXPERIMENTS[exp])() for exp in ids}
+    text = "".join(f"{body}\n\n" for body in rendered.values())
+    _emit(args, text, [{"experiment": k, "rendered": v} for k, v in rendered.items()])
+    return EXIT_OK
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -79,7 +129,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         acc = qm.accuracy(entry.data["x_test"], entry.data["y_test"])
         print(f"  {label}: plain-quant accuracy {acc * 100:.2f}%, "
               f"max |MAC| {qm.max_mac()}, fits t: {qm.check_t()}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
@@ -94,11 +144,42 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     y = entry.data["y_test"][: args.count]
     plain = qm.accuracy(x, y)
     cipher = engine.accuracy(x, y)
-    print(f"{args.model} ({args.mode}), {len(x)} images")
-    print(f"  plain-quant accuracy : {plain * 100:.2f}%")
-    print(f"  ciphertext accuracy  : {cipher * 100:.2f}%")
-    print(f"  gap                  : {(cipher - plain) * 100:+.2f}%")
-    return 0
+    text = (
+        f"{args.model} ({args.mode}), {len(x)} images\n"
+        f"  plain-quant accuracy : {plain * 100:.2f}%\n"
+        f"  ciphertext accuracy  : {cipher * 100:.2f}%\n"
+        f"  gap                  : {(cipher - plain) * 100:+.2f}%\n"
+    )
+    payload = {
+        "model": args.model,
+        "mode": args.mode,
+        "count": len(x),
+        "plain_accuracy": plain,
+        "cipher_accuracy": cipher,
+        "gap": cipher - plain,
+    }
+    _emit(args, text, payload)
+    return EXIT_OK
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import BENCH_FILENAME, run_benches
+
+    out = args.out if args.out else BENCH_FILENAME
+    records = run_benches(out=out, quick=args.quick, seed=args.seed)
+    lines = [f"wrote {out}"]
+    for r in records:
+        speedup = r["speedup_vs_serial"]
+        lines.append(
+            f"  {r['bench']}: wall {r['wall_s']:.3f}s, "
+            f"batched-RNS speedup vs serial {speedup:.2f}x"
+        )
+    text = "\n".join(lines) + "\n"
+    if args.json:
+        sys.stdout.write(json.dumps(records, indent=2) + "\n")
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
@@ -110,7 +191,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
              f"{r.slowdown:.2f}x") for r in results]
     print(render_table(["ablation", "baseline ms", "ablated ms", "slowdown"],
                        rows, f"Design ablations ({args.model})"))
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,27 +199,36 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Athena reproduction command line"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    seed = _seed_parent()
+    output = _output_parent()
 
     p = sub.add_parser("params", help="show FHE parameter sets")
     p.add_argument("name", nargs="?", help="preset name (default: all)")
     p.set_defaults(func=_cmd_params)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p = sub.add_parser("experiment", parents=[output],
+                       help="regenerate a paper table/figure")
     p.add_argument("id", help="table1..table9, fig1..fig13, or 'all'")
     p.set_defaults(func=_cmd_experiment)
 
-    p = sub.add_parser("train", help="train + quantize a benchmark model")
-    p.add_argument("model", choices=["mnist_cnn", "lenet", "resnet20", "resnet56"])
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("train", parents=[seed],
+                       help="train + quantize a benchmark model")
+    p.add_argument("model", choices=_MODELS)
     p.add_argument("--refresh", action="store_true", help="ignore the cache")
     p.set_defaults(func=_cmd_train)
 
-    p = sub.add_parser("infer", help="encrypted-pipeline inference")
-    p.add_argument("model", choices=["mnist_cnn", "lenet", "resnet20", "resnet56"])
+    p = sub.add_parser("infer", parents=[seed, output],
+                       help="encrypted-pipeline inference")
+    p.add_argument("model", choices=_MODELS)
     p.add_argument("--mode", default="w7a7", choices=["w7a7", "w6a7"])
     p.add_argument("--count", type=int, default=128)
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_infer)
+
+    p = sub.add_parser("bench", parents=[seed, output],
+                       help="pipeline + RNS benchmarks (BENCH_pipeline.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: fewer repetitions")
+    p.set_defaults(func=_cmd_bench, seed=41)
 
     p = sub.add_parser("ablation", help="accelerator design ablations")
     p.add_argument("--model", default="resnet20")
@@ -150,7 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,7 +19,9 @@ enough modulus for one full FBS depth (see ``TEST_LOOP`` in params).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -40,6 +42,7 @@ from repro.fhe.fbs import FbsCost, FbsLut, fbs_evaluate
 from repro.fhe.packing import PackingKey, pack_lwe
 from repro.fhe.params import FheParams
 from repro.fhe.s2c import S2CKey, slot_to_coeff
+from repro.perf import ParallelMap, PerfRecorder
 from repro.utils.sampling import Sampler
 
 
@@ -52,12 +55,36 @@ class LoopCost:
     extractions: int = 0
     fbs: FbsCost = field(default_factory=FbsCost)
 
+    def merge(self, other: "LoopCost") -> None:
+        """Fold another loop's counts in (chunked tiles count privately,
+        then merge, so parallel tiles never race on shared counters)."""
+        self.pmult += other.pmult
+        self.hadd += other.hadd
+        self.extractions += other.extractions
+        self.fbs.smult += other.fbs.smult
+        self.fbs.hadd += other.fbs.hadd
+        self.fbs.cmult += other.fbs.cmult
+
 
 class AthenaPipeline:
-    """All keys + the five-step loop for one parameter set."""
+    """All keys + the five-step loop for one parameter set.
 
-    def __init__(self, params: FheParams, seed: int = 0, ks_base_bits: int = 7):
+    A :class:`~repro.perf.PerfRecorder` may be attached (constructor or
+    :meth:`attach_perf`); the five-step phases are then timed under the
+    canonical names ``pmult`` / ``mod_switch`` / ``extract`` / ``pack`` /
+    ``fbs`` / ``s2c``, which are pairwise disjoint code regions, so their
+    recorded durations sum to at most the run wall time.
+    """
+
+    def __init__(
+        self,
+        params: FheParams,
+        seed: int = 0,
+        ks_base_bits: int = 7,
+        perf: PerfRecorder | None = None,
+    ):
         self.params = params
+        self.perf = perf
         self.ctx = BfvContext(params, seed=seed)
         self.sk, self.pk = self.ctx.keygen()
         self.rlk = self.ctx.relin_key(self.sk)
@@ -68,6 +95,19 @@ class AthenaPipeline:
         )
         self.packing_key = PackingKey.generate(self.ctx, self.lwe_secret, self.sk, self.pk)
         self.s2c_key = S2CKey.generate(self.ctx, self.sk)
+
+    # -- instrumentation -----------------------------------------------------
+
+    def attach_perf(self, perf: PerfRecorder | None) -> None:
+        """Attach (or detach with ``None``) a phase-time recorder."""
+        self.perf = perf
+
+    def _phase(self, name: str):
+        return self.perf.phase(name) if self.perf is not None else nullcontext()
+
+    def _count(self, name: str, k: int = 1) -> None:
+        if self.perf is not None:
+            self.perf.count(name, k)
 
     # -- I/O -----------------------------------------------------------------
 
@@ -86,7 +126,9 @@ class AthenaPipeline:
         self, ct: BfvCiphertext, kernel_coeffs: np.ndarray, cost: LoopCost | None = None
     ) -> BfvCiphertext:
         """Coefficient-encoded convolution/FC: one plaintext multiplication."""
-        out = self.ctx.pmult(ct, Plaintext.from_coeffs(kernel_coeffs, self.params))
+        with self._phase("pmult"):
+            out = self.ctx.pmult(ct, Plaintext.from_coeffs(kernel_coeffs, self.params))
+        self._count("pmult")
         if cost:
             cost.pmult += 1
         return out
@@ -109,12 +151,17 @@ class AthenaPipeline:
     ) -> lwelib.LweBatch:
         """Modulus switch, extract the valid coefficients, switch dimension
         and modulus down to t. Resulting messages sit at Delta = 1."""
-        small = lwelib.rlwe_mod_switch(ct, self.params.lwe_q)
-        batch = lwelib.sample_extract(small, positions)
+        with self._phase("mod_switch"):
+            small = lwelib.rlwe_mod_switch(ct, self.params.lwe_q)
+        self._count("mod_switch")
+        with self._phase("extract"):
+            batch = lwelib.sample_extract(small, positions)
+            switched = lwelib.keyswitch(batch, self.lwe_ksk)
+            out = lwelib.lwe_mod_switch(switched, self.params.t)
+        self._count("extract", batch.count)
         if cost:
             cost.extractions += batch.count
-        switched = lwelib.keyswitch(batch, self.lwe_ksk)
-        return lwelib.lwe_mod_switch(switched, self.params.t)
+        return out
 
     # -- Steps 4-5: packing + FBS ---------------------------------------------------
 
@@ -122,14 +169,24 @@ class AthenaPipeline:
         self, batch: lwelib.LweBatch, lut: FbsLut, cost: LoopCost | None = None
     ) -> BfvCiphertext:
         """Pack LWE ciphertexts into slots and evaluate the LUT polynomial."""
-        packed = pack_lwe(self.ctx, batch, self.packing_key)
-        return fbs_evaluate(self.ctx, packed, lut, self.rlk, cost.fbs if cost else None)
+        with self._phase("pack"):
+            packed = pack_lwe(self.ctx, batch, self.packing_key)
+        self._count("pack")
+        with self._phase("fbs"):
+            out = fbs_evaluate(
+                self.ctx, packed, lut, self.rlk, cost.fbs if cost else None
+            )
+        self._count("fbs")
+        return out
 
     # -- loop closure -------------------------------------------------------------
 
     def to_coeffs(self, ct: BfvCiphertext) -> BfvCiphertext:
         """S2C: prepare the FBS output for the next coefficient-encoded layer."""
-        return slot_to_coeff(self.ctx, ct, self.s2c_key)
+        with self._phase("s2c"):
+            out = slot_to_coeff(self.ctx, ct, self.s2c_key)
+        self._count("s2c")
+        return out
 
     def loop(
         self,
@@ -155,6 +212,8 @@ class AthenaPipeline:
         program: AthenaProgram,
         x_q: np.ndarray,
         cost: LoopCost | None = None,
+        chunk: int | None = None,
+        pmap: ParallelMap | None = None,
     ) -> np.ndarray:
         """Execute a lowered :class:`AthenaProgram` end to end on encrypted
         data: encode + encrypt the quantized input client-side, run one
@@ -162,11 +221,16 @@ class AthenaPipeline:
 
         The tail step's ``s2c=False`` flag (program fusion rule 4) is
         honoured here: the final FBS output is decoded from slots directly.
-        Returns the centered integer outputs — comparable, up to FHE noise,
-        with ``QuantizedModel.forward_int`` on the same program.
+        ``chunk`` caps the LWE outputs per refresh round; rounds of one
+        layer then become independent ciphertext tiles executed through
+        ``pmap`` (see :meth:`CiphertextExecutor.linear`). Returns the
+        centered integer outputs — comparable, up to FHE noise, with
+        ``QuantizedModel.forward_int`` on the same program.
         """
-        ex = CiphertextExecutor(self, program, cost)
-        ct = _run_steps(program, ex, np.asarray(x_q, dtype=np.int64))
+        ex = CiphertextExecutor(self, program, cost, chunk=chunk, pmap=pmap)
+        span = self.perf.run() if self.perf is not None else nullcontext()
+        with span:
+            ct = _run_steps(program, ex, np.asarray(x_q, dtype=np.int64))
         raw = self.decrypt_coeffs(ct) if ex.tail_s2c else self.decrypt_slots(ct)
         vals = raw[: ex.out_count]
         t = self.params.t
@@ -188,6 +252,15 @@ class CiphertextExecutor(ProgramExecutor):
     Pooling, residual joins, and MAC-domain max-pool fusion need ciphertext
     machinery (rotation-based repacking) this reduced-parameter backend does
     not implement; those steps raise :class:`ParameterError`.
+
+    With ``chunk`` set, a layer whose output count exceeds the cap is
+    refreshed as several independent five-step tiles (extract -> pack ->
+    FBS -> S2C on at most ``chunk`` outputs each), fanned out through
+    ``pmap``; tile ciphertexts are merged back into the single-ciphertext
+    layout by exact monomial shifts. Unused pack slots hold exactly 0, so
+    each tile's FBS output carries LUT(0) in its dead slots; an exact
+    ``add_plain(-LUT(0))`` correction zeroes them before S2C, which is what
+    makes the shift-merge collision-free.
     """
 
     def __init__(
@@ -195,10 +268,16 @@ class CiphertextExecutor(ProgramExecutor):
         pipe: AthenaPipeline,
         program: AthenaProgram,
         cost: LoopCost | None = None,
+        chunk: int | None = None,
+        pmap: ParallelMap | None = None,
     ):
+        if chunk is not None and chunk < 1:
+            raise ParameterError(f"chunk cap must be >= 1, got {chunk}")
         self.pipe = pipe
         self.program = program
         self.cost = cost
+        self.chunk = chunk
+        self.pmap = pmap if pmap is not None else ParallelMap()
         self._luts: dict[int, FbsLut] = {}
         self.out_count = 0
         self.tail_s2c = True
@@ -252,11 +331,76 @@ class CiphertextExecutor(ProgramExecutor):
             reps = positions.shape[0] // layer.bias.shape[0]
             bias_coeffs[positions] = np.repeat(layer.bias, reps)
             out = pipe.ctx.add_plain(out, Plaintext.from_coeffs(bias_coeffs, params))
-        batch = pipe.refresh_to_lwe(out, positions, self.cost)
-        boot = pipe.bootstrap(batch, self._lut(step), self.cost)
         self.out_count = positions.shape[0]
-        self.tail_s2c = step.s2c
-        return pipe.to_coeffs(boot) if step.s2c else boot
+        if self.chunk is None or positions.shape[0] <= self.chunk:
+            batch = pipe.refresh_to_lwe(out, positions, self.cost)
+            boot = pipe.bootstrap(batch, self._lut(step), self.cost)
+            self.tail_s2c = step.s2c
+            return pipe.to_coeffs(boot) if step.s2c else boot
+        return self._chunked_rounds(out, positions, self._lut(step))
+
+    # -- chunked refresh: independent tiles + exact shift-merge --------------
+
+    def _chunked_rounds(
+        self, out: BfvCiphertext, positions: np.ndarray, lut: FbsLut
+    ) -> BfvCiphertext:
+        """Refresh ``positions`` as ceil(m/chunk) independent five-step tiles.
+
+        Each tile always runs S2C (tile merging happens in coefficient
+        space, where a monomial shift is exact and free of key material), so
+        the merged result is in coefficient form even for the tail step.
+        """
+        pipe = self.pipe
+        tiles = [
+            (int(off), positions[off : off + self.chunk])
+            for off in range(0, positions.shape[0], self.chunk)
+        ]
+        rounds = self.pmap.starmap(partial(self._tile_round, out, lut), tiles)
+        merged: BfvCiphertext | None = None
+        for ct_k, cost_k in rounds:
+            if merged is None:
+                merged = ct_k
+            else:
+                merged = pipe.ctx.add(merged, ct_k)
+                if self.cost is not None:
+                    self.cost.hadd += 1
+            if self.cost is not None and cost_k is not None:
+                self.cost.merge(cost_k)
+        self.tail_s2c = True
+        return merged
+
+    def _tile_round(
+        self, out: BfvCiphertext, lut: FbsLut, offset: int, pos: np.ndarray
+    ) -> tuple[BfvCiphertext, LoopCost | None]:
+        """One tile: refresh -> FBS -> dead-slot correction -> S2C -> shift.
+
+        Packing zeroes the slots past this tile's count *exactly*, and FBS
+        maps an exact 0 to an exact LUT(0), so subtracting LUT(0) from the
+        dead slots is an exact correction: after S2C the tile's plaintext is
+        zero outside coefficients [0, count). The monomial shift X^offset
+        then lands the tile at [offset, offset + count) without collisions,
+        and wrapped coefficients (all zero) pick up only a sign.
+        """
+        pipe = self.pipe
+        cost = LoopCost() if self.cost is not None else None
+        batch = pipe.refresh_to_lwe(out, pos, cost)
+        boot = pipe.bootstrap(batch, lut, cost)
+        lut0 = int(lut.values[0])
+        if lut0:
+            correction = np.zeros(pipe.params.n, dtype=np.int64)
+            correction[pos.shape[0]:] = -lut0 % pipe.params.t
+            boot = pipe.ctx.add_plain(
+                boot, Plaintext.from_slots(correction, pipe.params)
+            )
+        ct = pipe.to_coeffs(boot)
+        if offset:
+            ct = BfvCiphertext(
+                ct.c0.negacyclic_shift(offset),
+                ct.c1.negacyclic_shift(offset),
+                ct.params,
+                ct.noise_bits,
+            )
+        return ct, cost
 
     def pool(self, step: PoolStep, value):
         raise ParameterError(

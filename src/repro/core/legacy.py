@@ -1,0 +1,63 @@
+"""Deprecated pre-program walker entry points.
+
+Before the lowered-program refactor, each backend walked the quantized layer
+IR itself; these module-level walkers were the public way to run them. They
+are kept importable for downstream code, but every call emits a
+:class:`DeprecationWarning` and delegates to the one true schedule:
+:func:`repro.core.program.lower` + :func:`repro.core.program.run_program`.
+
+Migration map::
+
+    run_layers(layers, x_q, cfg)  ->  run_program(lower(model), PlainIntExecutor(cfg), x_q)
+    mac_layers(model)             ->  lower(model).mac_sources()
+    trace_layers(model, ...)      ->  repro.core.trace.trace_model(model, ...)
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.core.program import (
+    AthenaProgram,
+    PlainIntExecutor,
+    _lower_layers,
+    lower,
+    run_program,
+)
+from repro.fhe.params import ATHENA, FheParams
+from repro.quant.quantize import QuantConfig, QuantizedModel
+
+__all__ = ["mac_layers", "run_layers", "trace_layers"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.core.legacy.{old} is deprecated; use {new} "
+        "(the lowered AthenaProgram API)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_layers(layers: list, x_q: np.ndarray, cfg: QuantConfig) -> np.ndarray:
+    """Deprecated: plaintext integer forward over a raw layer list."""
+    _deprecated("run_layers", "run_program(lower(model), PlainIntExecutor(cfg))")
+    steps = _lower_layers(layers, cfg, ATHENA, prefix="")
+    program = AthenaProgram(steps, cfg, ATHENA, name="legacy")
+    return run_program(program, PlainIntExecutor(cfg), np.asarray(x_q))
+
+
+def mac_layers(model: QuantizedModel) -> list:
+    """Deprecated: MAC-producing IR nodes in execution order."""
+    _deprecated("mac_layers", "lower(model).mac_sources()")
+    return lower(model).mac_sources()
+
+
+def trace_layers(model: QuantizedModel, params: FheParams = ATHENA, **kwargs):
+    """Deprecated: accelerator workload trace of a quantized model."""
+    _deprecated("trace_layers", "repro.core.trace.trace_model")
+    from repro.core.trace import trace_model
+
+    return trace_model(model, params, **kwargs)

@@ -15,6 +15,7 @@ from repro.core.noise_budget import PAPER_TABLE4, budget_bits, is_correct, table
 from repro.eval.render import render_table
 from repro.eval.zoo import get_benchmark
 from repro.fhe.params import ATHENA
+from repro.perf import ParallelMap
 
 
 # -- Table 1: solution comparison -------------------------------------------------
@@ -138,21 +139,30 @@ def render_table4() -> str:
 # -- Table 5: accuracy ------------------------------------------------------------------
 
 
+def _table5_row(name: str, test_size: int, seed: int):
+    """One model's accuracy sweep (module-level so process pools can run it)."""
+    entry = get_benchmark(name, seed=seed)
+    x = entry.data["x_test"][:test_size]
+    y = entry.data["y_test"][:test_size]
+    row = {"plain-G": entry.float_accuracy}
+    for label, qm in entry.quantized.items():
+        engine = SimulatedAthenaEngine(qm, ATHENA, seed=seed + 7)
+        row[f"plain-Q {label}"] = qm.accuracy(x, y)
+        row[f"cipher {label}"] = engine.accuracy(x, y)
+    return name, row
+
+
 def table5(models=("mnist_cnn", "lenet", "resnet20", "resnet56"), test_size: int = 512,
-           seed: int = 0):
-    """plain-G / plain-Q / cipher accuracy per model and quant mode."""
-    out = {}
-    for name in models:
-        entry = get_benchmark(name, seed=seed)
-        x = entry.data["x_test"][:test_size]
-        y = entry.data["y_test"][:test_size]
-        row = {"plain-G": entry.float_accuracy}
-        for label, qm in entry.quantized.items():
-            engine = SimulatedAthenaEngine(qm, ATHENA, seed=seed + 7)
-            row[f"plain-Q {label}"] = qm.accuracy(x, y)
-            row[f"cipher {label}"] = engine.accuracy(x, y)
-        out[name] = row
-    return out
+           seed: int = 0, pmap: ParallelMap | None = None):
+    """plain-G / plain-Q / cipher accuracy per model and quant mode.
+
+    The per-model sweeps are independent; they fan out through ``pmap``
+    (default: :class:`ParallelMap` from the ``REPRO_EXECUTOR`` /
+    ``REPRO_WORKERS`` environment) and come back in input order.
+    """
+    pmap = pmap if pmap is not None else ParallelMap()
+    rows = pmap.starmap(_table5_row, [(name, test_size, seed) for name in models])
+    return dict(rows)
 
 
 def render_table5(**kwargs) -> str:

@@ -28,11 +28,13 @@ from repro.fhe.params import (
     ATHENA,
     ATHENA_MEDIUM,
     TEST_FBS,
+    TEST_LOOP,
     TEST_SMALL,
     TEST_TINY,
     FheParams,
     get_params,
 )
+from repro.fhe.poly import RnsPoly, rns_backend, use_serial_rns
 from repro.fhe.s2c import S2CKey, slot_to_coeff
 from repro.fhe.security import check_params, security_level
 
@@ -40,6 +42,7 @@ __all__ = [
     "ATHENA",
     "ATHENA_MEDIUM",
     "TEST_FBS",
+    "TEST_LOOP",
     "TEST_SMALL",
     "TEST_TINY",
     "BfvCiphertext",
@@ -61,8 +64,11 @@ __all__ = [
     "lwe_mod_switch",
     "pack_lwe",
     "rlwe_mod_switch",
+    "RnsPoly",
+    "rns_backend",
     "sample_extract",
     "check_params",
     "security_level",
     "slot_to_coeff",
+    "use_serial_rns",
 ]

@@ -150,6 +150,18 @@ class BfvContext:
         c0 = -(a * sk.poly) + e + scaled
         return BfvCiphertext(c0, a, p, math.log2(p.sigma) + 2)
 
+    def encrypt_zero(self) -> BfvCiphertext:
+        """A transparent (noiseless) encryption of zero.
+
+        (0, 0) decrypts to zero under any key and is the additive identity,
+        so it serves as the neutral accumulator seed — e.g. the FBS
+        zero-polynomial fallbacks, which previously burned an SMult-by-0 on
+        a live ciphertext (paying log2(t) noise bits for a constant).
+        """
+        p = self.params
+        zero = RnsPoly.zeros(p.n, p.moduli)
+        return BfvCiphertext(zero, zero, p, 0.0)
+
     def decrypt(self, ct: BfvCiphertext, sk: SecretKey) -> Plaintext:
         p = self.params
         phase = ct.c0 + ct.c1 * sk.poly

@@ -33,6 +33,14 @@ from repro.fhe.keys import KeySwitchKey
 from repro.fhe.ntt import cyclic_ntt
 from repro.utils.modmath import inv_mod, primitive_root
 
+__all__ = [
+    "FbsCost",
+    "FbsLut",
+    "evaluate_poly_plain",
+    "fbs_evaluate",
+    "interpolate_lut",
+]
+
 
 def interpolate_lut(values: np.ndarray, t: int) -> np.ndarray:
     """Coefficients F_0..F_{t-1} of the interpolating polynomial over Z_t."""
@@ -71,9 +79,8 @@ def _interpolate_dense(values: np.ndarray, t: int) -> np.ndarray:
     k = np.arange(1, t, dtype=np.int64)
     coeffs = np.empty(t, dtype=np.int64)
     coeffs[0] = values[0]
-    # power[j-1, k-1] = k^(t-1-j); build rows by repeated division... simpler:
-    # iterate j, keeping k^(t-1-j) as a running vector (k^-1 steps).
-    kinv = np.array([inv_mod(int(v), t) for v in k], dtype=np.int64)
+    # Iterate j from t-1 down to 1, keeping k^(t-1-j) as a running vector
+    # that picks up one factor of k per step.
     running = np.ones(t - 1, dtype=np.int64)  # k^(t-1-j) at j = t-1
     # Fill from j = t-1 down to 1: running starts at k^0 = 1.
     vals = values[1:]
@@ -220,7 +227,7 @@ def fbs_evaluate(
             if cost and inner is not term:
                 cost.hadd += 1
         if const:
-            base = inner if inner is not None else ctx.smult(ct, 0)
+            base = inner if inner is not None else ctx.encrypt_zero()
             inner = ctx.add_plain(
                 base, Plaintext.from_slots(np.full(ctx.params.n, const), ctx.params)
             )
@@ -234,8 +241,7 @@ def fbs_evaluate(
         if cost and result is not inner:
             cost.hadd += 1
     if result is None:
-        result = ctx.add_plain(
-            ctx.smult(ct, 0),
-            Plaintext.from_slots(np.zeros(ctx.params.n, dtype=np.int64), ctx.params),
-        )
+        # All-zero polynomial: the LUT is identically zero, so the answer is
+        # a (transparent) zero ciphertext rather than SMult(ct, 0).
+        result = ctx.encrypt_zero()
     return result

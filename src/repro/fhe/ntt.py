@@ -26,13 +26,20 @@ from repro.errors import ParameterError
 from repro.utils.modmath import inv_mod, root_of_unity
 
 
+@lru_cache(maxsize=None)
 def _bit_reverse_indices(n: int) -> np.ndarray:
-    """Indices 0..n-1 in bit-reversed order (n a power of two)."""
+    """Indices 0..n-1 in bit-reversed order (n a power of two).
+
+    Cached: callers (`_tables`, `_rns_tables`, `cyclic_ntt`) only ever use
+    the array for read-only fancy indexing, and the LUT-interpolation path
+    recomputes it at t-1 = 65536 elements otherwise.
+    """
     bits = n.bit_length() - 1
     idx = np.arange(n, dtype=np.int64)
     rev = np.zeros(n, dtype=np.int64)
     for b in range(bits):
         rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    rev.setflags(write=False)
     return rev
 
 
@@ -105,6 +112,86 @@ def ntt_mul(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
     fa = ntt_forward(a, p)
     fb = ntt_forward(b, p)
     return ntt_inverse(fa * fb % p, p)
+
+
+# ---------------------------------------------------------------------------
+# Residue-stacked transforms: one butterfly pass covers every RNS limb
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _rns_tables(
+    n: int, moduli: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked (psi_rev, inv_psi_rev, inv_n, moduli-column) for a limb chain.
+
+    Each row of the (L, N) twiddle stacks is the per-prime table from
+    :func:`_tables`; the moduli come back as an (L, 1) int64 column ready to
+    broadcast against (L, N) residue matrices.
+    """
+    psi = np.stack([_tables(n, p)[0] for p in moduli])
+    ipsi = np.stack([_tables(n, p)[1] for p in moduli])
+    inv_n = np.array([_tables(n, p)[2] for p in moduli], dtype=np.int64)[:, None]
+    mods = np.array(moduli, dtype=np.int64)[:, None]
+    for arr in (psi, ipsi, inv_n, mods):
+        arr.setflags(write=False)
+    return psi, ipsi, inv_n, mods
+
+
+def ntt_forward_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+    """Forward negacyclic NTT of an (L, N) residue stack, all limbs at once.
+
+    Row i is transformed modulo ``moduli[i]``; one butterfly pass per stage
+    covers every limb (the per-prime loop this replaces ran log2(N) stages L
+    times over). Same ordering contract as :func:`ntt_forward`: natural in,
+    bit-reversed out. Overflow-safe for primes < 2**31: every intermediate
+    product is < 2**62.
+    """
+    n = a.shape[-1]
+    psi_rev, _, _, mods = _rns_tables(n, moduli)
+    a = np.mod(a, mods).astype(np.int64)
+    mods3 = mods[:, :, None]
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        view = a.reshape(len(moduli), m, 2, t)
+        s = psi_rev[:, m : 2 * m, None]
+        u = view[:, :, 0, :].copy()
+        v = view[:, :, 1, :] * s % mods3
+        view[:, :, 0, :] = (u + v) % mods3
+        view[:, :, 1, :] = (u - v) % mods3
+        m *= 2
+    return a
+
+
+def ntt_inverse_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`ntt_forward_rns` (bit-reversed in, natural out)."""
+    n = a.shape[-1]
+    _, ipsi_rev, inv_n, mods = _rns_tables(n, moduli)
+    a = np.mod(a, mods).astype(np.int64)
+    mods3 = mods[:, :, None]
+    t = 1
+    m = n
+    while m > 1:
+        h = m // 2
+        view = a.reshape(len(moduli), h, 2, t)
+        s = ipsi_rev[:, h : 2 * h, None]
+        u = view[:, :, 0, :].copy()
+        v = view[:, :, 1, :].copy()
+        view[:, :, 0, :] = (u + v) % mods3
+        view[:, :, 1, :] = (u - v) * s % mods3
+        t *= 2
+        m = h
+    return a * inv_n % mods
+
+
+def ntt_mul_rns(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+    """Negacyclic product of two (L, N) residue stacks, one pass per stage."""
+    _, _, _, mods = _rns_tables(a.shape[-1], moduli)
+    fa = ntt_forward_rns(a, moduli)
+    fb = ntt_forward_rns(b, moduli)
+    return ntt_inverse_rns(fa * fb % mods, moduli)
 
 
 def negacyclic_mul_exact(a, b) -> list[int]:

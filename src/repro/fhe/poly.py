@@ -2,13 +2,29 @@
 
 :class:`RnsPoly` is the basic algebraic object underneath BFV ciphertexts and
 keys: an (L, N) int64 residue matrix plus its modulus chain. Elements are
-kept in the coefficient domain; multiplications run a per-limb negacyclic
-NTT internally. Galois automorphisms x -> x^k are implemented as signed
+kept in the coefficient domain; multiplications run a negacyclic NTT
+internally. Galois automorphisms x -> x^k are implemented as signed
 index permutations of the coefficient vector.
+
+Two interchangeable arithmetic backends exist:
+
+* **batched** (default) — every op treats the (L, N) residue matrix as one
+  stacked array, broadcasting an (L, 1) moduli column; multiplications go
+  through :func:`repro.fhe.ntt.ntt_forward_rns`, so one butterfly pass per
+  stage covers all limbs. This is the execution-engine hot path.
+* **serial** — the original per-prime ``for i, p in enumerate(moduli)``
+  loops, kept verbatim as the reference semantics. The equivalence test
+  suite pins the batched path bit-identical to it, and the ``repro bench``
+  harness measures the speedup between the two.
+
+Switch with :func:`use_serial_rns` (a context manager); both backends honor
+the same dtype-overflow contract (limb primes < 2**31, so products and
+butterfly sums stay inside int64).
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
@@ -17,7 +33,13 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.fhe import rns
-from repro.fhe.ntt import negacyclic_mul_exact, ntt_forward, ntt_inverse
+from repro.fhe.ntt import (
+    negacyclic_mul_exact,
+    ntt_forward,
+    ntt_forward_rns,
+    ntt_inverse,
+    ntt_inverse_rns,
+)
 from repro.utils.modmath import inv_mod
 
 
@@ -36,6 +58,165 @@ def automorphism_map(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
     sign = np.where(dest >= n, -1, 1).astype(np.int64)
     dest = np.where(dest >= n, dest - n, dest)
     return dest, sign
+
+
+@lru_cache(maxsize=None)
+def _moduli_column(moduli: tuple[int, ...]) -> np.ndarray:
+    """(L, 1) int64 broadcast column for a modulus chain."""
+    col = np.array(moduli, dtype=np.int64)[:, None]
+    col.setflags(write=False)
+    return col
+
+
+class _BatchedOps:
+    """Residue-stacked arithmetic: one numpy pass covers every limb."""
+
+    @staticmethod
+    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return (a + b) % _moduli_column(moduli)
+
+    @staticmethod
+    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return (a - b) % _moduli_column(moduli)
+
+    @staticmethod
+    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return -a % _moduli_column(moduli)
+
+    @staticmethod
+    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        fa = ntt_forward_rns(a, moduli)
+        fb = ntt_forward_rns(b, moduli)
+        return ntt_inverse_rns(fa * fb % mods, moduli)
+
+    @staticmethod
+    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        residues = np.array([value % p for p in moduli], dtype=np.int64)[:, None]
+        return a * residues % mods
+
+    @staticmethod
+    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        invs = np.array([inv_mod(value, p) for p in moduli], dtype=np.int64)[:, None]
+        return a * invs % mods
+
+    @staticmethod
+    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        dest, sign = automorphism_map(n, k)
+        out = np.empty_like(a)
+        # |a * sign| < p < 2**31, so the signed product is int64-exact.
+        out[:, dest] = a * sign % _moduli_column(moduli)
+        return out
+
+    @staticmethod
+    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        mods = _moduli_column(moduli)
+        rolled = np.roll(a, shift % n, axis=1)
+        if shift % n:
+            rolled[:, : shift % n] = -rolled[:, : shift % n] % mods
+        if shift >= n:
+            rolled = -rolled % mods
+        return rolled
+
+
+class _SerialOps:
+    """The pre-batching per-prime loops, frozen as reference semantics."""
+
+    @staticmethod
+    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = a + b
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = a - b
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = -a
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            fa = ntt_forward(a[i].copy(), p)
+            fb = ntt_forward(b[i].copy(), p)
+            out[i] = ntt_inverse(fa * fb % p, p)
+        return out
+
+    @staticmethod
+    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = a[i] * (value % p) % p
+        return out
+
+    @staticmethod
+    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = a[i] * inv_mod(value, p) % p
+        return out
+
+    @staticmethod
+    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        dest, sign = automorphism_map(n, k)
+        out = np.zeros_like(a)
+        signed = a * sign  # safe: |value| < p < 2**31
+        for i, p in enumerate(moduli):
+            out[i][dest] = signed[i] % p  # k odd => dest is a permutation
+        return out
+
+    @staticmethod
+    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            row = a[i]
+            rolled = np.roll(row, shift % n)
+            if shift % n:
+                rolled[: shift % n] = (-rolled[: shift % n]) % p
+            if shift >= n:
+                rolled = (-rolled) % p
+            out[i] = rolled
+        return out
+
+
+_OPS = _BatchedOps
+
+
+@contextlib.contextmanager
+def use_serial_rns():
+    """Run RnsPoly arithmetic through the per-prime reference loops.
+
+    Used by the equivalence tests and by ``repro bench`` to measure the
+    batched path's speedup over the pre-batching implementation.
+    """
+    global _OPS
+    prev = _OPS
+    _OPS = _SerialOps
+    try:
+        yield
+    finally:
+        _OPS = prev
+
+
+def rns_backend() -> str:
+    """Name of the active RnsPoly arithmetic backend."""
+    return "serial" if _OPS is _SerialOps else "batched"
 
 
 @dataclass
@@ -61,8 +242,7 @@ class RnsPoly:
     @classmethod
     def constant(cls, value: int, n: int, moduli: tuple[int, ...]) -> "RnsPoly":
         out = cls.zeros(n, moduli)
-        for i, p in enumerate(moduli):
-            out.data[i, 0] = value % p
+        out.data[:, 0] = [value % p for p in moduli]
         return out
 
     # --- basic properties ------------------------------------------------
@@ -90,39 +270,22 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check(other)
-        data = self.data + other.data
-        for i, p in enumerate(self.moduli):
-            data[i] %= p
-        return RnsPoly(data, self.moduli)
+        return RnsPoly(_OPS.add(self.data, other.data, self.moduli), self.moduli)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check(other)
-        data = self.data - other.data
-        for i, p in enumerate(self.moduli):
-            data[i] %= p
-        return RnsPoly(data, self.moduli)
+        return RnsPoly(_OPS.sub(self.data, other.data, self.moduli), self.moduli)
 
     def __neg__(self) -> "RnsPoly":
-        data = -self.data
-        for i, p in enumerate(self.moduli):
-            data[i] %= p
-        return RnsPoly(data, self.moduli)
+        return RnsPoly(_OPS.neg(self.data, self.moduli), self.moduli)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
-        """Negacyclic product via per-limb NTT."""
+        """Negacyclic product via the (batched) NTT."""
         self._check(other)
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.moduli):
-            fa = ntt_forward(self.data[i].copy(), p)
-            fb = ntt_forward(other.data[i].copy(), p)
-            out[i] = ntt_inverse(fa * fb % p, p)
-        return RnsPoly(out, self.moduli)
+        return RnsPoly(_OPS.mul(self.data, other.data, self.moduli), self.moduli)
 
     def scalar_mul(self, value: int) -> "RnsPoly":
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.moduli):
-            out[i] = self.data[i] * (value % p) % p
-        return RnsPoly(out, self.moduli)
+        return RnsPoly(_OPS.scalar_mul(self.data, value, self.moduli), self.moduli)
 
     def mul_exact_then_reduce(self, other: "RnsPoly") -> "RnsPoly":
         """Exact big-int negacyclic product, then reduction per limb.
@@ -139,27 +302,12 @@ class RnsPoly:
 
     def automorphism(self, k: int) -> "RnsPoly":
         """Apply the Galois map X -> X^k."""
-        dest, sign = automorphism_map(self.n, k)
-        out = np.zeros_like(self.data)
-        signed = self.data * sign  # safe: |value| < p < 2**31
-        for i, p in enumerate(self.moduli):
-            out[i][dest] = signed[i] % p  # k odd => dest is a permutation
-        return RnsPoly(out, self.moduli)
+        return RnsPoly(_OPS.automorphism(self.data, k, self.moduli), self.moduli)
 
     def negacyclic_shift(self, shift: int) -> "RnsPoly":
         """Multiply by X^shift (shift may be negative)."""
-        n = self.n
-        shift %= 2 * n
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.moduli):
-            row = self.data[i]
-            rolled = np.roll(row, shift % n)
-            if shift % n:
-                rolled[: shift % n] = (-rolled[: shift % n]) % p
-            if shift >= n:
-                rolled = (-rolled) % p
-            out[i] = rolled
-        return RnsPoly(out, self.moduli)
+        shift %= 2 * self.n
+        return RnsPoly(_OPS.shift(self.data, shift, self.moduli), self.moduli)
 
     # --- conversions --------------------------------------------------------
 
@@ -184,10 +332,7 @@ class RnsPoly:
 
     def inv_scalar(self, value: int) -> "RnsPoly":
         """Multiply by value^-1 mod Q (per limb)."""
-        out = np.empty_like(self.data)
-        for i, p in enumerate(self.moduli):
-            out[i] = self.data[i] * inv_mod(value, p) % p
-        return RnsPoly(out, self.moduli)
+        return RnsPoly(_OPS.inv_scalar(self.data, value, self.moduli), self.moduli)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RnsPoly):

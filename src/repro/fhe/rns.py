@@ -30,13 +30,18 @@ def _crt_constants(moduli: tuple[int, ...]) -> tuple[int, list[int], list[int]]:
 
 
 def to_rns(values: Sequence[int] | np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-    """Reduce a vector of integers into an (L, N) residue matrix."""
+    """Reduce a vector of integers into an (L, N) residue matrix.
+
+    Word-sized numpy inputs reduce in one broadcast against the stacked
+    moduli column; big/negative Python ints fall back to the exact per-limb
+    path.
+    """
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        mods = np.array(moduli, dtype=np.int64)[:, None]
+        return np.mod(values[None, :].astype(np.int64), mods)
     out = np.empty((len(moduli), len(values)), dtype=np.int64)
     for i, p in enumerate(moduli):
-        if isinstance(values, np.ndarray) and values.dtype != object:
-            out[i] = np.mod(values, p)
-        else:
-            out[i] = [int(v) % p for v in values]
+        out[i] = [int(v) % p for v in values]
     return out
 
 

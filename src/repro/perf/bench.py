@@ -1,0 +1,187 @@
+"""The ``repro bench`` harness: pipeline + RNS microbenchmarks.
+
+Two benchmarks, both emitted into ``BENCH_pipeline.json`` as a list of
+records with the schema::
+
+    {bench, params, wall_s, phase_s, ops, speedup_vs_serial}
+
+- ``mnist_cnn``     — an end-to-end encrypted run of a tiny MNIST-style CNN
+  (conv -> flatten -> fc, the shape the loop tests pin) through
+  :class:`AthenaPipeline` at ``TEST_LOOP`` parameters, phase times recorded
+  by :class:`PerfRecorder`.
+- ``resnet20_block``— the RNS polynomial op mix of one ResNet-20 residual
+  block (PMult poly products, FBS scalar ladder, packing automorphisms,
+  additions), scaled to reduced parameters.
+
+``speedup_vs_serial`` reruns the identical workload with
+:func:`repro.fhe.poly.use_serial_rns` (the frozen per-prime reference loop)
+and reports serial/batched wall time. The win comes from amortizing Python
+dispatch and numpy call overhead across limbs, so it is largest in the
+small-ring / many-limb regime these benches run in — at large N the
+butterfly arithmetic dominates and the ratio approaches 1.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.framework import AthenaPipeline, LoopCost
+from repro.core.program import lower
+from repro.fhe.params import TEST_LOOP, FheParams
+from repro.fhe.poly import RnsPoly, rns_backend, use_serial_rns
+from repro.perf.recorder import PerfRecorder
+from repro.quant.quantize import (
+    QConv,
+    QFlatten,
+    QLinear,
+    QuantConfig,
+    QuantizedModel,
+)
+
+#: Record keys of one BENCH_pipeline.json entry.
+BENCH_SCHEMA = ("bench", "params", "wall_s", "phase_s", "ops", "speedup_vs_serial")
+
+#: Default output filename (CI uploads this artifact).
+BENCH_FILENAME = "BENCH_pipeline.json"
+
+
+def _params_info(params: FheParams) -> dict:
+    return {
+        "n": params.n,
+        "limbs": len(params.moduli),
+        "t": params.t,
+        "backend": rns_backend(),
+    }
+
+
+def _mnist_cnn_model(rng: np.random.Generator) -> QuantizedModel:
+    """conv(1->2, k3) on 6x6 -> flatten -> fc(32->3), sized for TEST_LOOP."""
+    cfg = QuantConfig(4, 4, t=TEST_LOOP.t)
+    conv = QConv(
+        weight=rng.integers(-2, 3, (2, 1, 3, 3)).astype(np.int64),
+        bias=rng.integers(-4, 5, 2).astype(np.int64),
+        stride=1, pad=0, in_scale=1.0, w_scale=1.0, out_scale=12.0,
+        activation="relu", in_shape=(1, 6, 6), out_shape=(2, 4, 4),
+    )
+    fc_w = rng.integers(-1, 2, (3, 32)).astype(np.int64)
+    fc_w[:, rng.permutation(32)[:16]] = 0
+    fc = QLinear(
+        weight=fc_w, bias=rng.integers(-3, 4, 3).astype(np.int64),
+        in_scale=1.0, w_scale=1.0, out_scale=2.0, activation="identity",
+        in_features=32, out_features=3,
+    )
+    return QuantizedModel(
+        [conv, QFlatten(), fc], cfg, 1.0, (1, 6, 6), name="mnist_cnn_micro"
+    )
+
+
+def bench_mnist_cnn(seed: int = 41, compare_serial: bool = True) -> dict:
+    """End-to-end encrypted MNIST-CNN run at TEST_LOOP parameters."""
+    rng = np.random.default_rng(5)
+    qm = _mnist_cnn_model(rng)
+    x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
+    program = lower(qm, TEST_LOOP)
+
+    perf = PerfRecorder()
+    pipe = AthenaPipeline(TEST_LOOP, seed=seed, perf=perf)
+    cost = LoopCost()
+    pipe.run_program(program, x_q, cost)
+    record = {
+        "bench": "mnist_cnn",
+        "params": _params_info(TEST_LOOP),
+        **perf.summary(),
+        "speedup_vs_serial": None,
+    }
+    record["ops"]["fbs_cmult"] = cost.fbs.cmult
+    record["ops"]["fbs_smult"] = cost.fbs.smult
+    if compare_serial:
+        with use_serial_rns():
+            start = time.perf_counter()
+            pipe.attach_perf(None)
+            pipe.run_program(program, x_q)
+            serial_s = time.perf_counter() - start
+        record["speedup_vs_serial"] = round(serial_s / record["wall_s"], 3)
+    return record
+
+
+#: Per-repetition RNS op mix of one ResNet-20 residual block, scaled down:
+#: two 3x3 convs are 2 PMults = 4 poly products (c0/c1 each), the FBS
+#: scalar ladder dominates SMult/HAdd, packing contributes automorphisms.
+_BLOCK_MIX = {"mul": 8, "add": 96, "scalar_mul": 96, "automorphism": 16}
+
+
+def bench_resnet20_block(
+    params: FheParams = TEST_LOOP, reps: int = 10, seed: int = 7,
+    compare_serial: bool = True,
+) -> dict:
+    """RNS op mix of one ResNet-20 block, batched vs per-prime serial."""
+
+    rng = np.random.default_rng(seed)
+
+    def fresh():
+        return RnsPoly.from_int_coeffs(
+            rng.integers(0, params.t, params.n).astype(np.int64), params.moduli
+        )
+
+    a, b = fresh(), fresh()
+
+    def one_pass(perf: PerfRecorder | None) -> float:
+        x, y = a, b
+        start = time.perf_counter()
+        for _ in range(reps):
+            for _ in range(_BLOCK_MIX["mul"]):
+                x = x * y
+            for _ in range(_BLOCK_MIX["add"]):
+                x = x + y
+            for _ in range(_BLOCK_MIX["scalar_mul"]):
+                x = x.scalar_mul(3)
+            for k in range(_BLOCK_MIX["automorphism"]):
+                x = x.automorphism(2 * k + 3)
+        elapsed = time.perf_counter() - start
+        if perf is not None:
+            perf.add_time("rns_ops", elapsed)
+            for op, count in _BLOCK_MIX.items():
+                perf.count(op, count * reps)
+        return elapsed
+
+    perf = PerfRecorder()
+    with perf.run():
+        batched_s = one_pass(perf)
+    record = {
+        "bench": "resnet20_block",
+        "params": {**_params_info(params), "reps": reps},
+        **perf.summary(),
+        "speedup_vs_serial": None,
+    }
+    if compare_serial:
+        with use_serial_rns():
+            serial_s = one_pass(None)
+        record["speedup_vs_serial"] = round(serial_s / batched_s, 3)
+    return record
+
+
+def run_benches(
+    out: str | Path | None = BENCH_FILENAME,
+    quick: bool = False,
+    seed: int = 41,
+) -> list[dict]:
+    """Run both benchmarks; write ``out`` (unless None) and return records.
+
+    ``quick`` shrinks the microbench repetitions for CI smoke jobs; both
+    records are still emitted with the full schema.
+    """
+    records = [
+        bench_mnist_cnn(seed=seed),
+        bench_resnet20_block(reps=3 if quick else 10),
+    ]
+    for record in records:
+        missing = [k for k in BENCH_SCHEMA if k not in record]
+        if missing:  # pragma: no cover - schema regression guard
+            raise RuntimeError(f"bench record missing keys: {missing}")
+    if out is not None:
+        Path(out).write_text(json.dumps(records, indent=2) + "\n")
+    return records

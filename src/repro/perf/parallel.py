@@ -1,0 +1,90 @@
+"""Executor abstraction for embarrassingly-parallel pipeline stages.
+
+The five-step loop of the Athena pipeline is independent per output
+ciphertext, and the evaluation sweeps are independent per model.
+:class:`ParallelMap` gives those call sites one ``map`` entry point whose
+backend — serial loop, thread pool, or process pool — is chosen by an
+:class:`ExecConfig`, normally built from the environment:
+
+- ``REPRO_EXECUTOR`` in ``{"serial", "thread", "process"}`` (default serial)
+- ``REPRO_WORKERS``  worker count (default ``os.cpu_count()``)
+
+Serial is the default because at test-scale parameters the numpy kernels
+are faster than pool startup; the thread backend helps once per-item work
+dominates (numpy releases the GIL inside large ufuncs), and the process
+backend needs picklable functions (module-level, not closures).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How a ParallelMap runs: backend mode plus worker count."""
+
+    mode: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ParameterError(
+                f"executor mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ParameterError(f"worker count must be >= 1, got {self.workers}")
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None) -> "ExecConfig":
+        """Build from ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` (os.environ default)."""
+        env = os.environ if env is None else env
+        mode = env.get("REPRO_EXECUTOR", "serial").strip().lower() or "serial"
+        raw = env.get("REPRO_WORKERS", "").strip()
+        workers = int(raw) if raw else None
+        return cls(mode=mode, workers=workers)
+
+    @property
+    def effective_workers(self) -> int:
+        return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+
+class ParallelMap:
+    """Order-preserving map over independent items with a pluggable backend."""
+
+    def __init__(self, config: ExecConfig | None = None):
+        self.config = config if config is not None else ExecConfig.from_env()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        A single-item (or empty) input short-circuits to the serial path so
+        callers never pay pool startup for degenerate fan-outs.
+        """
+        items = list(items)
+        mode = self.config.mode
+        if mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.config.effective_workers, len(items))
+        pool_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., R], items: Iterable[Sequence]) -> list[R]:
+        return self.map(partial(_star_apply, fn), list(items))
+
+
+def _star_apply(fn: Callable[..., R], args: Sequence) -> R:
+    """Module-level splat helper so starmap stays picklable for process pools."""
+    return fn(*args)

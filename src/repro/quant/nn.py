@@ -57,8 +57,19 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
     return cols, out_h, out_w
 
 
-#: Backwards-compatible alias (pre-1.1 name).
-_im2col = im2col
+def __getattr__(name: str):
+    # Backwards-compatible alias (pre-1.1 name), kept importable but
+    # deprecated in favour of the public im2col.
+    if name == "_im2col":
+        import warnings
+
+        warnings.warn(
+            "repro.quant.nn._im2col is deprecated; use repro.quant.nn.im2col",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return im2col
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _col2im(cols: np.ndarray, x_shape, kh, kw, stride, pad):

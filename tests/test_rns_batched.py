@@ -1,0 +1,173 @@
+"""Batched (residue-stacked) RNS path vs the frozen per-prime serial loop.
+
+The batched backend must be *bit-identical* to the serial reference for
+every RnsPoly operation: both reduce the same integers modulo the same
+primes, only the loop structure differs. These tests sweep random (L, N)
+stacks through every op under both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ntt import (
+    ntt_forward,
+    ntt_forward_rns,
+    ntt_inverse,
+    ntt_inverse_rns,
+    ntt_mul,
+    ntt_mul_rns,
+)
+from repro.fhe.params import ATHENA_MEDIUM, TEST_LOOP
+from repro.fhe.poly import RnsPoly, rns_backend, use_serial_rns
+from repro.fhe.rns import from_rns, to_rns
+
+PARAM_SETS = [TEST_LOOP, ATHENA_MEDIUM]
+
+
+def _random_stack(rng, params):
+    mods = np.array(params.moduli, dtype=np.int64)[:, None]
+    return rng.integers(0, 2**31, (len(params.moduli), params.n)) % mods
+
+
+@pytest.fixture(params=PARAM_SETS, ids=lambda p: f"n{p.n}L{len(p.moduli)}")
+def params(request):
+    return request.param
+
+
+class TestBackendSwitch:
+    def test_default_is_batched(self):
+        assert rns_backend() == "batched"
+
+    def test_context_manager_swaps_and_restores(self):
+        with use_serial_rns():
+            assert rns_backend() == "serial"
+            with use_serial_rns():
+                assert rns_backend() == "serial"
+        assert rns_backend() == "batched"
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_serial_rns():
+                raise RuntimeError("boom")
+        assert rns_backend() == "batched"
+
+
+class TestStackedNtt:
+    """Residue-stacked transforms row-for-row match the per-prime ones."""
+
+    def test_forward_matches_per_prime(self, params):
+        rng = np.random.default_rng(1)
+        a = _random_stack(rng, params)
+        got = ntt_forward_rns(a.copy(), params.moduli)
+        for i, p in enumerate(params.moduli):
+            assert np.array_equal(got[i], ntt_forward(a[i].copy(), p))
+
+    def test_inverse_matches_per_prime(self, params):
+        rng = np.random.default_rng(2)
+        a = _random_stack(rng, params)
+        got = ntt_inverse_rns(a.copy(), params.moduli)
+        for i, p in enumerate(params.moduli):
+            assert np.array_equal(got[i], ntt_inverse(a[i].copy(), p))
+
+    def test_roundtrip_is_identity(self, params):
+        rng = np.random.default_rng(3)
+        a = _random_stack(rng, params)
+        back = ntt_inverse_rns(ntt_forward_rns(a.copy(), params.moduli),
+                               params.moduli)
+        assert np.array_equal(back, a)
+
+    def test_mul_matches_per_prime(self, params):
+        rng = np.random.default_rng(4)
+        a = _random_stack(rng, params)
+        b = _random_stack(rng, params)
+        got = ntt_mul_rns(a.copy(), b.copy(), params.moduli)
+        for i, p in enumerate(params.moduli):
+            assert np.array_equal(got[i], ntt_mul(a[i].copy(), b[i].copy(), p))
+
+
+class TestRnsPolyOpEquivalence:
+    """Every RnsPoly op: batched result == serial result, bit for bit."""
+
+    def _pair(self, params, seed):
+        rng = np.random.default_rng(seed)
+        a = RnsPoly(_random_stack(rng, params), params.moduli)
+        b = RnsPoly(_random_stack(rng, params), params.moduli)
+        return a, b
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: -a,
+            lambda a, b: a * b,
+            lambda a, b: a.scalar_mul(12345),
+            lambda a, b: a.scalar_mul(-7),
+            lambda a, b: a.inv_scalar(3),
+            lambda a, b: a.automorphism(3),
+            lambda a, b: a.automorphism(2 * a.n - 1),
+            lambda a, b: a.negacyclic_shift(1),
+            lambda a, b: a.negacyclic_shift(a.n - 1),
+            lambda a, b: a.negacyclic_shift(a.n + 5),
+        ],
+        ids=["add", "sub", "neg", "mul", "smul", "smul_neg", "inv_scalar",
+             "auto3", "auto_conj", "shift1", "shift_nm1", "shift_wrap"],
+    )
+    def test_op_bit_identical(self, params, op):
+        a, b = self._pair(params, 11)
+        batched = op(a, b)
+        with use_serial_rns():
+            serial = op(a, b)
+        assert np.array_equal(batched.data, serial.data)
+
+    def test_constant_bit_identical(self, params):
+        for value in (0, 1, -1, 12345, -(2**40)):
+            batched = RnsPoly.constant(value, params.n, params.moduli)
+            with use_serial_rns():
+                serial = RnsPoly.constant(value, params.n, params.moduli)
+            assert np.array_equal(batched.data, serial.data)
+
+    def test_mul_matches_exact_reference(self, params):
+        a, b = self._pair(params, 13)
+        fast = a * b
+        exact = a.mul_exact_then_reduce(b)
+        assert np.array_equal(fast.data, exact.data)
+
+    def test_crt_seams_unaffected_by_backend(self, params):
+        a, _ = self._pair(params, 17)
+        batched = a.to_int_coeffs()
+        with use_serial_rns():
+            serial = a.to_int_coeffs()
+        assert batched == serial
+
+
+class TestToRnsBroadcast:
+    def test_ndarray_path_matches_int_path(self, params):
+        rng = np.random.default_rng(19)
+        values = rng.integers(-(2**40), 2**40, params.n)
+        fast = to_rns(values, params.moduli)
+        exact = to_rns([int(v) for v in values], params.moduli)
+        assert np.array_equal(fast, exact)
+
+    def test_roundtrip(self, params):
+        rng = np.random.default_rng(23)
+        values = rng.integers(0, 2**31, params.n)
+        lifted = from_rns(to_rns(values, params.moduli), params.moduli)
+        assert lifted == [int(v) for v in values]
+
+
+class TestDtypeOverflowGuards:
+    def test_moduli_fit_butterfly_int64(self, params):
+        # a*b with a, b < p < 2**31 must fit int64 (< 2**62): the invariant
+        # the batched butterflies rely on instead of Barrett reduction.
+        for p in params.moduli:
+            assert p < 2**31
+            assert (p - 1) * (p - 1) < 2**62
+
+    def test_batched_mul_no_overflow_at_max_residues(self, params):
+        mods = np.array(params.moduli, dtype=np.int64)[:, None]
+        top = np.broadcast_to(mods - 1, (len(params.moduli), params.n)).copy()
+        a = RnsPoly(top.copy(), params.moduli)
+        fast = a * a
+        exact = a.mul_exact_then_reduce(a)
+        assert np.array_equal(fast.data, exact.data)
