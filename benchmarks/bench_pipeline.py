@@ -23,3 +23,10 @@ def test_bench_pipeline(once, tmp_path):
     # The batched RNS path must beat the frozen per-prime loop on the
     # ResNet-20 block microbench (the acceptance target is >= 2x).
     assert records[1]["speedup_vs_serial"] >= 1.5
+    # Compile/runtime split: a warm-session request (precompiled plan, no
+    # per-request kernel/LUT/S2C derivation) must beat the cold request
+    # whose wall time includes the in-span compile phase.
+    mnist = records[0]
+    assert mnist["compile_s"] > 0
+    assert 0 < mnist["warm_run_s"] < mnist["wall_s"]
+    assert mnist["phase_s"].get("compile", 0) > 0

@@ -7,6 +7,7 @@ Subpackages:
 * :mod:`repro.data` — synthetic dataset generators
 * :mod:`repro.core` — the Athena five-step inference framework
 * :mod:`repro.perf` — perf counters, parallel executors, bench harness
+* :mod:`repro.serve` — warm inference sessions + on-disk plan cache
 * :mod:`repro.accel` — cycle-level accelerator simulator and baselines
 * :mod:`repro.eval` — per-table / per-figure experiment drivers
 
@@ -23,10 +24,14 @@ __version__ = "1.1.0"
 _EXPORTS = {
     "AthenaPipeline": ("repro.core.framework", "AthenaPipeline"),
     "AthenaProgram": ("repro.core.program", "AthenaProgram"),
+    "CompiledProgram": ("repro.core.plan", "CompiledProgram"),
     "ExecConfig": ("repro.perf", "ExecConfig"),
     "FbsLut": ("repro.fhe.fbs", "FbsLut"),
+    "InferenceSession": ("repro.serve", "InferenceSession"),
     "ParallelMap": ("repro.perf", "ParallelMap"),
     "PerfRecorder": ("repro.perf", "PerfRecorder"),
+    "PlanCache": ("repro.serve", "PlanCache"),
+    "compile_program": ("repro.core.plan", "compile_program"),
     "lower": ("repro.core.program", "lower"),
     "run_program": ("repro.core.program", "run_program"),
 }

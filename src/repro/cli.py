@@ -6,8 +6,13 @@ Commands:
 * ``experiment <id> [...]``  — regenerate a paper table/figure by id
                                (``table1``..``table9``, ``fig1``..``fig13``).
 * ``train <model>``          — train + quantize a benchmark into the zoo.
-* ``infer <model>``          — encrypted-pipeline inference on test images.
-* ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json.
+* ``infer <model>``          — encrypted-pipeline inference on test images;
+                               ``--plan`` runs the warm-session
+                               real-ciphertext path from a compiled plan.
+* ``compile``                — precompute a CompiledProgram artifact
+                               (kernels, LUT polynomials, BSGS/S2C plans).
+* ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json
+                               (includes cold-compile vs warm-run walls).
 * ``ablation``               — accelerator design-choice ablations.
 
 Exit codes are uniform across commands: 0 on success, 1 when the library
@@ -132,7 +137,100 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile the micro benchmark model into an on-disk plan artifact."""
+    import time
+
+    import numpy as np
+
+    from repro.core.plan import compile_program
+    from repro.core.program import lower
+    from repro.fhe.params import get_params
+    from repro.fhe.serialize import dump_plan
+    from repro.perf.bench import mnist_cnn_micro
+
+    params = get_params(args.params)
+    program = lower(mnist_cnn_micro(np.random.default_rng(5)), params)
+    start = time.perf_counter()
+    plan = compile_program(program, params, chunk=args.chunk)
+    compile_s = time.perf_counter() - start
+    raw = dump_plan(plan)
+    out = args.out or f"{program.name}.plan"
+    with open(out, "wb") as fh:
+        fh.write(raw)
+    payload = {
+        "model": program.name,
+        "params": args.params,
+        "chunk": args.chunk,
+        "model_hash": plan.model_hash,
+        "compile_s": round(compile_s, 6),
+        "bytes": len(raw),
+        "out": out,
+    }
+    if args.json:
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        sys.stdout.write(
+            f"compiled {program.name} @ {args.params} in {compile_s:.3f}s "
+            f"({len(raw)} bytes) -> {out}\n"
+            f"  model hash: {plan.model_hash}\n"
+        )
+    return EXIT_OK
+
+
+def _infer_with_plan(args: argparse.Namespace) -> int:
+    """Warm-session inference from a precompiled plan (micro pipeline)."""
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core.program import lower
+    from repro.core.plan import program_fingerprint
+    from repro.fhe.serialize import guess_params, load_plan
+    from repro.perf.bench import mnist_cnn_micro
+    from repro.serve import InferenceSession
+
+    raw = Path(args.plan).read_bytes()
+    params = guess_params(raw)
+    if params is None:
+        print("repro: error: plan artifact matches no known parameter preset",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    plan = load_plan(raw, params)
+    qm = mnist_cnn_micro(np.random.default_rng(5))
+    program = lower(qm, params)
+    if program_fingerprint(program) != plan.model_hash:
+        print("repro: error: plan was compiled for a different model",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    session = InferenceSession(program, params, seed=args.seed, plan=plan)
+    rng = np.random.default_rng(args.seed + 5)
+    max_err = 0
+    for _ in range(args.count):
+        x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
+        got = session.run(x_q)
+        want = qm.forward_int(x_q[None])[0]
+        max_err = max(max_err, int(np.abs(got - want).max()))
+    stats = session.stats()
+    text = (
+        f"{stats['model']} @ {params.name}, {stats['requests']} warm requests\n"
+        f"  compile_s (bind)   : {stats['compile_s']:.4f}s\n"
+        f"  mean run_s         : {stats['mean_run_s']:.3f}s\n"
+        f"  max |cipher-plain| : {max_err}\n"
+    )
+    payload = {**stats, "params": params.name, "max_abs_error": max_err}
+    _emit(args, text, payload)
+    return EXIT_OK
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
+    if getattr(args, "plan", None):
+        if args.model != "mnist_cnn":
+            print("repro: error: --plan inference supports only mnist_cnn",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        return _infer_with_plan(args)
+
     from repro.core.inference import SimulatedAthenaEngine
     from repro.eval.zoo import get_benchmark
     from repro.fhe.params import ATHENA
@@ -222,7 +320,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model", choices=_MODELS)
     p.add_argument("--mode", default="w7a7", choices=["w7a7", "w6a7"])
     p.add_argument("--count", type=int, default=128)
+    p.add_argument("--plan", metavar="PATH", default=None,
+                   help="run warm-session inference from a compiled plan "
+                        "(mnist_cnn only; see 'repro compile')")
     p.set_defaults(func=_cmd_infer)
+
+    p = sub.add_parser("compile", parents=[seed],
+                       help="precompute a CompiledProgram plan artifact")
+    p.add_argument("--params", default="test-loop",
+                   help="parameter preset (default: test-loop)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="LWE outputs per refresh tile (default: unchunked)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="artifact path (default: <model>.plan)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON summary")
+    p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("bench", parents=[seed, output],
                        help="pipeline + RNS benchmarks (BENCH_pipeline.json)")

@@ -17,6 +17,7 @@ two-step softmax tables (exp and reciprocal-of-sum), all per §3.2.3.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
@@ -76,17 +77,23 @@ def activation_lut(
     return FbsLut(vals, t, name)
 
 
+@lru_cache(maxsize=None)
 def relu_lut(t: int) -> FbsLut:
+    """ReLU table over Z_t. Cached: the table (and its interpolated
+    polynomial) depends only on ``t``, so repeated max-trees and layer
+    builds share one instance — treat the result as immutable."""
     return FbsLut.from_function(lambda x: np.maximum(x, 0), t, "relu")
 
 
+@lru_cache(maxsize=None)
 def sigmoid_lut(t: int, in_scale: float, out_levels: int) -> FbsLut:
-    """Sigmoid quantized to ``out_levels`` integer levels."""
+    """Sigmoid quantized to ``out_levels`` integer levels (cached)."""
     return activation_lut(
         lambda x: out_levels / (1.0 + np.exp(-x)), t, in_scale, 1.0, "sigmoid"
     )
 
 
+@lru_cache(maxsize=None)
 def gelu_lut(t: int, in_scale: float, out_scale: float) -> FbsLut:
     def gelu(x):
         return 0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)))
@@ -94,8 +101,9 @@ def gelu_lut(t: int, in_scale: float, out_scale: float) -> FbsLut:
     return activation_lut(gelu, t, in_scale, out_scale, "gelu")
 
 
+@lru_cache(maxsize=None)
 def avgpool_lut(kernel: int, t: int) -> FbsLut:
-    """LUT(x) = round(x / k^2) (paper: Average-pooling)."""
+    """LUT(x) = round(x / k^2) (paper: Average-pooling). Cached per (k, t)."""
     k2 = kernel * kernel
     vals = np.rint(_centered_domain(t) / k2).astype(np.int64)
     return FbsLut(vals, t, f"avgpool-{kernel}")

@@ -1,0 +1,278 @@
+"""Compile-time plans: everything request-invariant, computed once.
+
+The Athena loop splits naturally into two phases the original executor
+interleaved on every request:
+
+* **compile time** — work that depends only on the *model* and the
+  *parameter set*: Eq. 1 kernel encoding (and its NTT operand form), bias
+  placement, LUT tabulation + polynomial interpolation + BSGS schedule,
+  the S2C evaluation-matrix diagonals, chunked-tile layouts with their
+  exact LUT(0) dead-slot corrections, and the extraction position arrays.
+* **run time** — ciphertext operations on the request's encrypted data.
+
+:func:`compile_program` lowers an :class:`~repro.core.program.AthenaProgram`
+into a :class:`CompiledProgram` holding all of the former, so
+:class:`~repro.core.framework.CiphertextExecutor` becomes a thin interpreter
+that performs only the latter. The compiled artifacts are plain
+plaintext/array data — no key material and nothing secret — so a plan can be
+built once, serialized (:mod:`repro.fhe.serialize`), cached on disk keyed by
+``(model hash, params hash)``, and shared by every session that runs the
+same model under the same parameters.
+
+Bit-identity contract: a plan-driven run issues the *identical* homomorphic
+op sequence as a plan-free run (the plan only moves the derivation of each
+op's plaintext operand to compile time), so given the same keys and
+randomness the outputs are bit-for-bit equal. ``tests/test_plan.py`` pins
+this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoding import encode_kernels
+from repro.core.program import AthenaProgram, LinearStep
+from repro.errors import ParameterError
+from repro.fhe.bfv import Plaintext
+from repro.fhe.fbs import FbsLut, FbsPlan
+from repro.fhe.params import FheParams
+from repro.fhe.s2c import S2CPlan
+from repro.fhe.serialize import params_fingerprint
+
+__all__ = [
+    "CompiledLinear",
+    "CompiledOpaque",
+    "CompiledProgram",
+    "TilePlan",
+    "compile_program",
+    "program_fingerprint",
+]
+
+
+def program_fingerprint(program: AthenaProgram) -> str:
+    """Hex digest pinning a lowered model: structure, weights, LUT recipes.
+
+    Two programs lowered from the same quantized model hash identically;
+    any change to a weight, bias, scale, fusion decision, or quantization
+    config changes the digest. Used (with the parameter fingerprint) as the
+    on-disk plan-cache key.
+    """
+    h = hashlib.sha256()
+    h.update(repr(program.config).encode())
+
+    def feed(steps) -> None:
+        for step in steps:
+            h.update(f"|{step.kind}:{step.name}".encode())
+            if step.kind == "linear":
+                layer = step.layer
+                stride = getattr(layer, "stride", 1)
+                pad = getattr(layer, "pad", 0)
+                h.update(
+                    f":{step.op}:{step.s2c:d}:{stride}:{pad}"
+                    f":{layer.activation}:{layer.out_scale}"
+                    f":{step.fused_pool is not None:d}".encode()
+                )
+                h.update(np.ascontiguousarray(layer.weight).tobytes())
+                h.update(np.ascontiguousarray(layer.bias).tobytes())
+            elif step.kind == "remap":
+                h.update(f":{step.lut.kind}:{step.lut.divisor}:{step.s2c:d}".encode())
+            elif step.kind == "pool":
+                h.update(f":{step.op}".encode())
+            elif step.kind == "residual":
+                h.update(f":{step.layer.skip_alpha}:{step.s2c:d}".encode())
+                feed(step.body.steps)
+                if step.shortcut:
+                    feed(step.shortcut.steps)
+
+    feed(program.steps)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """One chunked five-step tile: its positions and exact corrections.
+
+    ``correction`` is the slot-encoded ``-LUT(0)`` plaintext that zeroes the
+    tile's dead pack slots before S2C (``None`` when LUT(0) = 0), making the
+    later monomial shift-merge collision-free. The shift amount is
+    ``offset`` — the tile's coefficient base in the merged layout.
+    """
+
+    offset: int
+    positions: np.ndarray
+    correction: Plaintext | None
+
+
+@dataclass
+class CompiledLinear:
+    """All request-invariant artifacts of one conv/FC five-step round."""
+
+    index: int
+    name: str
+    op: str  # 'conv' | 'fc'
+    s2c: bool
+    kind: str = field(default="linear", init=False)
+    #: Eq. 1 kernel polynomial, NTT operand pre-warmed.
+    kernel: Plaintext = None
+    #: Bias placed at the output positions (``None`` when the bias is zero).
+    bias: Plaintext | None = None
+    #: Coefficient indices of the valid outputs (extraction positions).
+    positions: np.ndarray = None
+    out_count: int = 0
+    #: Materialized FBS table (interpolated once, shared via the cache).
+    lut: FbsLut = None
+    #: BSGS schedule of the LUT polynomial, constants pre-encoded.
+    fbs: FbsPlan = None
+    #: Chunked refresh layout; ``None`` when the round runs as one tile.
+    tiles: tuple[TilePlan, ...] | None = None
+
+
+@dataclass(frozen=True)
+class CompiledOpaque:
+    """Placeholder for steps the ciphertext backend realizes without
+    compile-time artifacts (reshape) or does not support at all (pooling,
+    standalone remap, residual, MAC-domain fusion) — the executor raises
+    its usual error when such a step is actually reached."""
+
+    index: int
+    name: str
+    kind: str
+
+
+@dataclass
+class CompiledProgram:
+    """A fully lowered + precomputed model for one parameter set.
+
+    ``steps`` aligns 1:1 with the source program's top-level steps; the
+    executor resolves each runtime step to its artifacts *by index*
+    (never by object identity, so one plan serves any equivalent
+    re-lowered program). Contains no key material.
+    """
+
+    steps: list
+    params: FheParams
+    chunk: int | None
+    s2c: S2CPlan
+    model_hash: str
+    name: str = "model"
+
+    def bind(self, program: AthenaProgram, params: FheParams) -> None:
+        """Validate that this plan matches ``program`` under ``params``."""
+        if params_fingerprint(params) != params_fingerprint(self.params):
+            raise ParameterError("plan was compiled for different parameters")
+        if len(self.steps) != len(program.steps):
+            raise ParameterError(
+                f"plan has {len(self.steps)} steps, program has "
+                f"{len(program.steps)}"
+            )
+        for cstep, step in zip(self.steps, program.steps):
+            want = "linear" if isinstance(cstep, CompiledLinear) else cstep.kind
+            if want != step.kind:
+                raise ParameterError(
+                    f"plan step {cstep.index} is {want!r}, "
+                    f"program has {step.kind!r}"
+                )
+
+
+def _build_tiles(
+    positions: np.ndarray, lut: FbsLut, params: FheParams, chunk: int | None
+) -> tuple[TilePlan, ...] | None:
+    """Tile layout of one round, or ``None`` for the single-tile case."""
+    if chunk is None or positions.shape[0] <= chunk:
+        return None
+    lut0 = int(lut.values[0])
+    tiles = []
+    for off in range(0, positions.shape[0], chunk):
+        pos = positions[off : off + chunk]
+        correction = None
+        if lut0:
+            vals = np.zeros(params.n, dtype=np.int64)
+            vals[pos.shape[0] :] = -lut0 % params.t
+            correction = Plaintext.from_slots(vals, params)
+            correction.add_operand()
+        tiles.append(TilePlan(int(off), pos, correction))
+    return tuple(tiles)
+
+
+def _compile_linear(
+    step: LinearStep,
+    index: int,
+    program: AthenaProgram,
+    params: FheParams,
+    chunk: int | None,
+) -> CompiledLinear:
+    layer = step.layer
+    n = params.n
+    if step.op == "conv":
+        cin, h, w = layer.in_shape
+        hp, wp = h + 2 * layer.pad, w + 2 * layer.pad
+        kernel_coeffs = encode_kernels(layer.weight, hp, wp, n)
+    else:
+        # An FC layer is the Wk = H = W = 1 case of the Eq. 1 encoding.
+        kernel_coeffs = encode_kernels(layer.weight[:, :, None, None], 1, 1, n)
+    kernel = Plaintext.from_coeffs(kernel_coeffs, params)
+    kernel.pmult_operand()
+
+    positions = step.output_positions()
+    if positions.shape[0] > n:
+        raise ParameterError("more outputs than slots")
+
+    bias = None
+    if np.any(layer.bias):
+        bias_coeffs = np.zeros(n, dtype=np.int64)
+        reps = positions.shape[0] // layer.bias.shape[0]
+        bias_coeffs[positions] = np.repeat(layer.bias, reps)
+        bias = Plaintext.from_coeffs(bias_coeffs, params)
+        bias.add_operand()
+
+    lut = step.lut.build(program.config, params.t)
+    fbs = FbsPlan.from_lut(lut).materialize(params)
+    return CompiledLinear(
+        index=index,
+        name=step.name,
+        op=step.op,
+        s2c=step.s2c,
+        kernel=kernel,
+        bias=bias,
+        positions=positions,
+        out_count=positions.shape[0],
+        lut=lut,
+        fbs=fbs,
+        tiles=_build_tiles(positions, lut, params, chunk),
+    )
+
+
+def compile_program(
+    program: AthenaProgram,
+    params: FheParams | None = None,
+    chunk: int | None = None,
+) -> CompiledProgram:
+    """Precompute every request-invariant artifact of ``program``.
+
+    ``chunk`` caps the LWE outputs per refresh round exactly as in
+    :meth:`AthenaPipeline.run_program`; rounds exceeding the cap get a
+    precomputed tile layout. Steps the ciphertext backend cannot execute
+    compile to opaque placeholders so that compiling a program never fails
+    where running it would have succeeded.
+    """
+    if params is None:
+        params = program.params
+    if chunk is not None and chunk < 1:
+        raise ParameterError(f"chunk cap must be >= 1, got {chunk}")
+    steps: list = []
+    for i, step in enumerate(program.steps):
+        if step.kind == "linear" and step.fused_pool is None:
+            steps.append(_compile_linear(step, i, program, params, chunk))
+        else:
+            steps.append(CompiledOpaque(i, step.name, step.kind))
+    return CompiledProgram(
+        steps=steps,
+        params=params,
+        chunk=chunk,
+        s2c=S2CPlan.build(params),
+        model_hash=program_fingerprint(program),
+        name=program.name,
+    )

@@ -295,6 +295,16 @@ class AthenaProgram:
                 return step.layer.out_scale
         return 1.0
 
+    def compile(self, params: FheParams | None = None, chunk: int | None = None):
+        """Precompute this program's :class:`repro.core.plan.CompiledProgram`.
+
+        Convenience wrapper over :func:`repro.core.plan.compile_program`
+        (imported lazily — the plan module depends on this one).
+        """
+        from repro.core.plan import compile_program
+
+        return compile_program(self, params or self.params, chunk=chunk)
+
 
 # --------------------------------------------------------------------------
 # Lowering pass — the ONLY place fusion decisions (and isinstance dispatch

@@ -22,7 +22,7 @@ The per-op *analytic* noise accounting mirrors the paper's Table 4 rules
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,10 +43,25 @@ from repro.utils.sampling import Sampler
 
 @dataclass
 class Plaintext:
-    """A BFV plaintext: coefficient vector modulo t."""
+    """A BFV plaintext: coefficient vector modulo t.
+
+    A plaintext that participates in many homomorphic ops (a plan-held
+    kernel, an S2C diagonal, a bias vector) caches its operand forms lazily:
+    the centered NTT-domain residues for :meth:`BfvContext.pmult` and the
+    Delta-scaled residues for :meth:`BfvContext.add_plain` are computed on
+    first use and reused afterwards, so a compiled program transforms each
+    plaintext once instead of once per ciphertext op. ``coeffs`` must not be
+    mutated after the first homomorphic use.
+    """
 
     coeffs: np.ndarray
     params: FheParams
+    _ntt_op: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _scaled_op: RnsPoly | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_coeffs(cls, coeffs, params: FheParams) -> "Plaintext":
@@ -71,6 +86,25 @@ class Plaintext:
 
     def centered(self) -> np.ndarray:
         return centered_array(self.coeffs, self.params.t)
+
+    # -- cached homomorphic-operand forms ---------------------------------
+
+    def pmult_operand(self) -> np.ndarray:
+        """Centered coefficients in NTT form, transformed once per plaintext."""
+        if self._ntt_op is None:
+            rns = RnsPoly.from_int_coeffs(
+                centered_array(self.coeffs, self.params.t), self.params.moduli
+            )
+            self._ntt_op = rns.ntt_form()
+        return self._ntt_op
+
+    def add_operand(self) -> RnsPoly:
+        """Delta-scaled residues, computed once per plaintext."""
+        if self._scaled_op is None:
+            self._scaled_op = RnsPoly.from_int_coeffs(
+                self.coeffs, self.params.moduli
+            ).scalar_mul(self.params.delta)
+        return self._scaled_op
 
 
 @dataclass
@@ -185,10 +219,9 @@ class BfvContext:
         )
 
     def add_plain(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
-        scaled = RnsPoly.from_int_coeffs(pt.coeffs, ct.params.moduli).scalar_mul(
-            ct.params.delta
+        return BfvCiphertext(
+            ct.c0 + pt.add_operand(), ct.c1, ct.params, ct.noise_bits
         )
-        return BfvCiphertext(ct.c0 + scaled, ct.c1, ct.params, ct.noise_bits)
 
     def smult(self, ct: BfvCiphertext, scalar: int) -> BfvCiphertext:
         """Scalar multiplication (scalar taken mod t, centered)."""
@@ -204,12 +237,16 @@ class BfvContext:
         )
 
     def pmult(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
-        """Multiply by a plaintext polynomial (weights stay unencrypted)."""
-        w = RnsPoly.from_int_coeffs(
-            centered_array(pt.coeffs, ct.params.t), ct.params.moduli
-        )
+        """Multiply by a plaintext polynomial (weights stay unencrypted).
+
+        The plaintext operand is used in NTT form (cached on the plaintext),
+        so a plan-held kernel or diagonal pays its forward transform once
+        across all requests; the result is bit-identical to the plain
+        ``RnsPoly`` product.
+        """
+        w = pt.pmult_operand()
         return BfvCiphertext(
-            ct.c0 * w, ct.c1 * w, ct.params, ct.noise_bits + self._log_nt
+            ct.c0.mul_ntt(w), ct.c1.mul_ntt(w), ct.params, ct.noise_bits + self._log_nt
         )
 
     def cmult(

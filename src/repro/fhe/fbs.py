@@ -36,9 +36,11 @@ from repro.utils.modmath import inv_mod, primitive_root
 __all__ = [
     "FbsCost",
     "FbsLut",
+    "FbsPlan",
     "evaluate_poly_plain",
     "fbs_evaluate",
     "interpolate_lut",
+    "register_interpolation",
 ]
 
 
@@ -50,6 +52,44 @@ def interpolate_lut(values: np.ndarray, t: int) -> np.ndarray:
     if (t - 1) & (t - 2) == 0 and t > 3:  # t-1 is a power of two
         return _interpolate_ntt(values, t)
     return _interpolate_dense(values, t)
+
+
+#: Interpolation results keyed on (table bytes, t). Repeated sessions build
+#: the same ReLU / avgpool / remap tables over and over; at t = 65537 each
+#: interpolation is a 65537-point NTT, so identical tables are resolved from
+#: here. Bounded FIFO: real deployments cycle through a model's handful of
+#: tables, so 64 entries is generous.
+_INTERP_CACHE: dict[tuple[bytes, int], np.ndarray] = {}
+_INTERP_CACHE_MAX = 64
+
+
+def _interpolate_cached(values: np.ndarray, t: int) -> np.ndarray:
+    key = (values.tobytes(), t)
+    got = _INTERP_CACHE.get(key)
+    if got is None:
+        got = interpolate_lut(values, t)
+        got.setflags(write=False)
+        while len(_INTERP_CACHE) >= _INTERP_CACHE_MAX:
+            _INTERP_CACHE.pop(next(iter(_INTERP_CACHE)))
+        _INTERP_CACHE[key] = got
+    return got
+
+
+def register_interpolation(values: np.ndarray, t: int, coeffs: np.ndarray) -> None:
+    """Seed the interpolation cache with known-good coefficients.
+
+    Used when deserializing a compiled plan: the artifact carries the
+    interpolated coefficient vector, so rebuilding its :class:`FbsLut`
+    must not pay the interpolation again (or at all, in a fresh process).
+    """
+    values = np.mod(np.asarray(values, dtype=np.int64), t)
+    coeffs = np.mod(np.asarray(coeffs, dtype=np.int64), t)
+    if values.shape != (t,) or coeffs.shape != (t,):
+        raise ParameterError(f"LUT and coefficients must both have t={t} entries")
+    coeffs.setflags(write=False)
+    while len(_INTERP_CACHE) >= _INTERP_CACHE_MAX:
+        _INTERP_CACHE.pop(next(iter(_INTERP_CACHE)))
+    _INTERP_CACHE[(values.tobytes(), t)] = coeffs
 
 
 def _interpolate_ntt(values: np.ndarray, t: int) -> np.ndarray:
@@ -112,7 +152,7 @@ class FbsLut:
 
     def __post_init__(self) -> None:
         self.values = np.mod(np.asarray(self.values, dtype=np.int64), self.t)
-        self.coeffs = interpolate_lut(self.values, self.t)
+        self.coeffs = _interpolate_cached(self.values, self.t)
 
     @classmethod
     def from_function(
@@ -158,26 +198,84 @@ class FbsCost:
     cmult: int = 0
 
 
+@dataclass
+class FbsPlan:
+    """Compile-time BSGS schedule of one LUT polynomial (Algorithm 2).
+
+    The schedule — polynomial degree, baby/giant split, and the nonzero
+    (power, coefficient) terms of each giant group — depends only on the
+    LUT, so a plan computed at compile time replaces the per-request scan
+    over all t coefficients. The constant term of each group needs a
+    slot-encoded plaintext; those are cached per parameter set so repeated
+    evaluations (and plan-driven sessions) encode each constant once.
+    """
+
+    degree: int
+    bs: int
+    gs: int
+    #: (g, constant, ((power j, coefficient), ...)) for non-empty groups,
+    #: ascending g — exactly the iteration order of the per-request scan.
+    groups: tuple[tuple[int, int, tuple[tuple[int, int], ...]], ...]
+    _const_pts: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def from_lut(cls, lut: "FbsLut") -> "FbsPlan":
+        coeffs = lut.coeffs
+        degree = int(np.max(np.nonzero(coeffs)[0])) if np.any(coeffs) else 0
+        bs = max(2, math.ceil(math.sqrt(degree + 1)))
+        gs = -(-(degree + 1) // bs)
+        groups = []
+        for g in range(gs):
+            const = int(coeffs[g * bs]) if g * bs <= degree else 0
+            terms = tuple(
+                (j, int(coeffs[g * bs + j]))
+                for j in range(1, bs)
+                if g * bs + j <= degree and coeffs[g * bs + j] != 0
+            )
+            if const or terms:
+                groups.append((g, const, terms))
+        return cls(degree, bs, gs, tuple(groups))
+
+    def const_plaintext(self, const: int, params) -> "Plaintext":
+        key = (const, params)
+        got = self._const_pts.get(key)
+        if got is None:
+            got = Plaintext.from_slots(np.full(params.n, const), params)
+            self._const_pts[key] = got
+        return got
+
+    def materialize(self, params) -> "FbsPlan":
+        """Pre-encode every group constant for one parameter set."""
+        for _, const, _ in self.groups:
+            if const:
+                self.const_plaintext(const, params).add_operand()
+        return self
+
+
 def fbs_evaluate(
     ctx: BfvContext,
     ct: BfvCiphertext,
     lut: FbsLut,
     rlk: KeySwitchKey,
     cost: FbsCost | None = None,
+    plan: FbsPlan | None = None,
 ) -> BfvCiphertext:
     """Algorithm 2: evaluate the LUT polynomial on every slot of ``ct``.
 
     Baby steps: inner sums of scalar-multiplied ciphertext powers (SMult +
     HAdd). Giant steps: one CMult per group with the precomputed power
     ct^(bs*g). Returns a ciphertext whose slot i holds LUT(slot_i(ct)).
+
+    ``plan`` supplies a precomputed BSGS schedule (see :class:`FbsPlan`);
+    without one, the schedule is derived here. Either way the homomorphic
+    op sequence is identical, so plan-driven evaluation is bit-identical.
     """
     t = ctx.params.t
     if lut.t != t:
         raise ParameterError("LUT modulus does not match context")
-    coeffs = lut.coeffs
-    degree = int(np.max(np.nonzero(coeffs)[0])) if np.any(coeffs) else 0
-    bs = max(2, math.ceil(math.sqrt(degree + 1)))
-    gs = -(-(degree + 1) // bs)
+    if plan is None:
+        plan = FbsPlan.from_lut(lut)
+    bs = plan.bs
 
     # Power cache with minimal multiplicative depth: ct^e is built as
     # ct^(e//2) * ct^(e - e//2), giving depth ceil(log2 e). This is what
@@ -213,14 +311,10 @@ def fbs_evaluate(
         return got
 
     result: BfvCiphertext | None = None
-    for g in range(gs):
+    for g, const, terms in plan.groups:
         inner: BfvCiphertext | None = None
-        const = int(coeffs[g * bs]) if g * bs <= degree else 0
-        for j in range(1, bs):
-            d = g * bs + j
-            if d > degree or coeffs[d] == 0:
-                continue
-            term = ctx.smult(power(j), int(coeffs[d]))
+        for j, coeff in terms:
+            term = ctx.smult(power(j), coeff)
             if cost:
                 cost.smult += 1
             inner = term if inner is None else ctx.add(inner, term)
@@ -228,9 +322,7 @@ def fbs_evaluate(
                 cost.hadd += 1
         if const:
             base = inner if inner is not None else ctx.encrypt_zero()
-            inner = ctx.add_plain(
-                base, Plaintext.from_slots(np.full(ctx.params.n, const), ctx.params)
-            )
+            inner = ctx.add_plain(base, plan.const_plaintext(const, ctx.params))
         if inner is None:
             continue
         if g:

@@ -94,48 +94,91 @@ def _hypercube_diagonals(
     return diags
 
 
+@dataclass(frozen=True)
+class MatvecPlan:
+    """Compile-time form of one BSGS Halevi-Shoup mat-vec.
+
+    The per-request path re-derives, for every call, which baby rotations
+    are live, which diagonals are nonzero, and the giant-step roll of each
+    diagonal — then slot-encodes every rolled diagonal into a fresh
+    plaintext. For a fixed matrix (the S2C evaluation matrix, any plan-held
+    weight matrix) all of that is request-invariant, so it is computed once
+    here; the plaintexts additionally cache their NTT operand form, making
+    each diagonal's forward transform a one-time cost.
+    """
+
+    baby_steps: int
+    #: Baby rotation amounts that feed at least one nonzero diagonal.
+    babies: tuple[int, ...]
+    #: (g, ((b, rolled-diagonal plaintext), ...)) for non-empty groups.
+    groups: tuple[tuple[int, tuple[tuple[int, Plaintext], ...]], ...]
+
+    @classmethod
+    def build(
+        cls, diagonals: np.ndarray, params, baby_steps: int
+    ) -> "MatvecPlan":
+        half = params.n // 2
+        if diagonals.shape != (half, params.n):
+            raise ParameterError("diagonal matrix has wrong shape")
+        giant = -(-half // baby_steps)
+        babies = tuple(
+            b for b in range(1, baby_steps) if np.any(diagonals[b::baby_steps])
+        )
+        groups = []
+        for g in range(giant):
+            terms = []
+            for b in range(baby_steps):
+                d = g * baby_steps + b
+                if d >= half or not np.any(diagonals[d]):
+                    continue
+                # Rotate the diagonal right by g*baby_steps within each row
+                # (plaintext-side correction for the later giant rotation).
+                diag = diagonals[d]
+                rolled = np.concatenate(
+                    [
+                        np.roll(diag[:half], g * baby_steps),
+                        np.roll(diag[half:], g * baby_steps),
+                    ]
+                )
+                pt = Plaintext.from_slots(rolled, params)
+                pt.pmult_operand()  # NTT once at compile time
+                terms.append((b, pt))
+            if terms:
+                groups.append((g, tuple(terms)))
+        return cls(baby_steps, babies, tuple(groups))
+
+
 def hypercube_matvec(
     ctx: BfvContext,
     ct: BfvCiphertext,
-    diagonals: np.ndarray,
+    diagonals: np.ndarray | None,
     rotation_keys: dict[int, KeySwitchKey],
     baby_steps: int,
+    plan: MatvecPlan | None = None,
 ) -> BfvCiphertext:
     """BSGS Halevi-Shoup product: slots(out)_i = sum_d diag[d][i] * v_{i+d}.
 
     ``diagonals`` has shape (M, N) with M = N/2 (row length); index d of the
-    first axis is the rotation amount. Zero diagonals are skipped.
+    first axis is the rotation amount. Zero diagonals are skipped. A
+    precomputed :class:`MatvecPlan` replaces the diagonal scan and per-call
+    plaintext encoding with the compile-time artifacts; the homomorphic op
+    sequence — and therefore the result — is identical either way.
     """
     params = ctx.params
-    half = params.n // 2
-    t = params.t
-    if diagonals.shape != (half, params.n):
-        raise ParameterError("diagonal matrix has wrong shape")
-    giant = -(-half // baby_steps)
+    if plan is None:
+        plan = MatvecPlan.build(diagonals, params, baby_steps)
     # Baby rotations of the encrypted vector.
-    baby_cts: list[BfvCiphertext | None] = [ct] + [None] * (baby_steps - 1)
-    for b in range(1, baby_steps):
-        if np.any(diagonals[b::baby_steps]):
-            baby_cts[b] = ctx.rotate_slots(ct, b, rotation_keys)
+    baby_cts: list[BfvCiphertext | None] = [ct] + [None] * (plan.baby_steps - 1)
+    for b in plan.babies:
+        baby_cts[b] = ctx.rotate_slots(ct, b, rotation_keys)
     result: BfvCiphertext | None = None
-    for g in range(giant):
+    for g, terms in plan.groups:
         inner: BfvCiphertext | None = None
-        for b in range(baby_steps):
-            d = g * baby_steps + b
-            if d >= half or not np.any(diagonals[d]):
-                continue
-            # Rotate the diagonal right by g*baby_steps within each row
-            # (plaintext-side correction for the later giant rotation).
-            diag = diagonals[d]
-            rolled = np.concatenate(
-                [np.roll(diag[:half], g * baby_steps), np.roll(diag[half:], g * baby_steps)]
-            )
-            term = ctx.pmult(baby_cts[b], Plaintext.from_slots(rolled, params))
+        for b, pt in terms:
+            term = ctx.pmult(baby_cts[b], pt)
             inner = term if inner is None else ctx.add(inner, term)
-        if inner is None:
-            continue
         if g:
-            inner = ctx.rotate_slots(inner, g * baby_steps, rotation_keys)
+            inner = ctx.rotate_slots(inner, g * plan.baby_steps, rotation_keys)
         result = inner if result is None else ctx.add(result, inner)
     if result is None:
         # All-zero matrix: encrypt-free zero ciphertext via 0 * ct.

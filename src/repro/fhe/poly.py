@@ -91,6 +91,16 @@ class _BatchedOps:
         return ntt_inverse_rns(fa * fb % mods, moduli)
 
     @staticmethod
+    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return ntt_forward_rns(a, moduli)
+
+    @staticmethod
+    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        fa = ntt_forward_rns(a, moduli)
+        return ntt_inverse_rns(fa * fb % mods, moduli)
+
+    @staticmethod
     def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
         mods = _moduli_column(moduli)
         residues = np.array([value % p for p in moduli], dtype=np.int64)[:, None]
@@ -154,6 +164,21 @@ class _SerialOps:
             fa = ntt_forward(a[i].copy(), p)
             fb = ntt_forward(b[i].copy(), p)
             out[i] = ntt_inverse(fa * fb % p, p)
+        return out
+
+    @staticmethod
+    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = ntt_forward(a[i].copy(), p)
+        return out
+
+    @staticmethod
+    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            fa = ntt_forward(a[i].copy(), p)
+            out[i] = ntt_inverse(fa * fb[i] % p, p)
         return out
 
     @staticmethod
@@ -286,6 +311,26 @@ class RnsPoly:
 
     def scalar_mul(self, value: int) -> "RnsPoly":
         return RnsPoly(_OPS.scalar_mul(self.data, value, self.moduli), self.moduli)
+
+    def ntt_form(self) -> np.ndarray:
+        """Forward-NTT residues (L, N), for reuse across many products.
+
+        A plan-held operand (kernel plaintext, S2C diagonal) is transformed
+        once at compile time; :meth:`mul_ntt` then skips that operand's
+        forward butterfly pass on every request. Both backends produce the
+        identical array, so a cached form is valid under either.
+        """
+        out = _OPS.ntt(self.data, self.moduli)
+        out.setflags(write=False)
+        return out
+
+    def mul_ntt(self, other_ntt: np.ndarray) -> "RnsPoly":
+        """Negacyclic product against a precomputed :meth:`ntt_form` operand.
+
+        Bit-identical to ``self * other``: the same forward/pointwise/inverse
+        pipeline, with the second forward transform amortized away.
+        """
+        return RnsPoly(_OPS.mul_ntt(self.data, other_ntt, self.moduli), self.moduli)
 
     def mul_exact_then_reduce(self, other: "RnsPoly") -> "RnsPoly":
         """Exact big-int negacyclic product, then reduction per limb.

@@ -24,10 +24,12 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.errors import ParameterError
 from repro.fhe import slots as slotlib
 from repro.fhe.bfv import BfvCiphertext, BfvContext
 from repro.fhe.keys import KeySwitchKey, SecretKey
-from repro.fhe.packing import hypercube_matvec
+from repro.fhe.packing import MatvecPlan, hypercube_matvec
+from repro.fhe.params import FheParams
 from repro.utils.modmath import root_of_unity
 
 
@@ -89,13 +91,60 @@ class S2CKey:
         return cls(keys, baby_steps)
 
 
+@dataclass
+class S2CPlan:
+    """Compile-time form of the S2C transform for one parameter set.
+
+    The evaluation matrix P depends only on (N, t), so both mat-vec passes
+    — diagonal extraction, giant-step rolls, slot encoding, and the NTT
+    form of every diagonal plaintext — are request-invariant and built once
+    here. A plan-driven :func:`slot_to_coeff` performs only ciphertext ops.
+    """
+
+    direct: MatvecPlan
+    crossed: MatvecPlan
+
+    @classmethod
+    def build(cls, params: FheParams, baby_steps: int | None = None) -> "S2CPlan":
+        n, t = params.n, params.t
+        half = n // 2
+        if baby_steps is None:
+            baby_steps = max(1, int(math.isqrt(half)))
+        p = _evaluation_matrix(n, t)
+        p00, p01 = p[:half, :half], p[:half, half:]
+        p10, p11 = p[half:, :half], p[half:, half:]
+        return cls(
+            MatvecPlan.build(_block_diagonals(p00, p11, half), params, baby_steps),
+            MatvecPlan.build(_block_diagonals(p01, p10, half), params, baby_steps),
+        )
+
+
 def slot_to_coeff(
-    ctx: BfvContext, ct: BfvCiphertext, key: S2CKey
+    ctx: BfvContext, ct: BfvCiphertext, key: S2CKey, plan: S2CPlan | None = None
 ) -> BfvCiphertext:
-    """Return a ciphertext whose *coefficients* equal ``ct``'s slot values."""
+    """Return a ciphertext whose *coefficients* equal ``ct``'s slot values.
+
+    With a precomputed :class:`S2CPlan` the two Halevi-Shoup passes reuse
+    compile-time diagonal plaintexts; the op sequence is unchanged, so the
+    result is bit-identical to the per-request path.
+    """
     params = ctx.params
     n, t = params.n, params.t
     half = n // 2
+    if plan is not None:
+        if plan.direct.baby_steps != key.baby_steps:
+            raise ParameterError("S2C plan was built for different baby steps")
+        direct = hypercube_matvec(
+            ctx, ct, None, key.rotation_keys, key.baby_steps, plan=plan.direct
+        )
+        swapped = ctx.row_swap(ct, key.rotation_keys)
+        return ctx.add(
+            direct,
+            hypercube_matvec(
+                ctx, swapped, None, key.rotation_keys, key.baby_steps,
+                plan=plan.crossed,
+            ),
+        )
     p = _evaluation_matrix(n, t)
     p00, p01 = p[:half, :half], p[:half, half:]
     p10, p11 = p[half:, :half], p[half:, half:]

@@ -21,10 +21,12 @@ import struct
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.fhe.bfv import BfvCiphertext
+from repro.fhe.bfv import BfvCiphertext, Plaintext
+from repro.fhe.fbs import FbsLut, FbsPlan, register_interpolation
 from repro.fhe.lwe import LweBatch
 from repro.fhe.params import PRESETS, FheParams
 from repro.fhe.poly import RnsPoly
+from repro.fhe.s2c import S2CPlan
 
 _MAGIC = 0x41544E41  # "ATNA"
 _VERSION = 1
@@ -32,6 +34,7 @@ _VERSION = 1
 KIND_CIPHERTEXT = 1
 KIND_LWE_BATCH = 2
 KIND_SECRET_KEY = 3
+KIND_PLAN = 4
 
 
 def params_fingerprint(params: FheParams) -> bytes:
@@ -56,6 +59,17 @@ def _read_array(buf: io.BytesIO) -> np.ndarray:
     if len(data) != count * 8:
         raise ParameterError("truncated serialized array")
     return np.frombuffer(data, dtype="<i8").reshape(shape).astype(np.int64)
+
+
+def _write_str(buf: io.BytesIO, text: str) -> None:
+    raw = text.encode()
+    buf.write(struct.pack("<H", len(raw)))
+    buf.write(raw)
+
+
+def _read_str(buf: io.BytesIO) -> str:
+    (length,) = struct.unpack("<H", buf.read(2))
+    return buf.read(length).decode()
 
 
 def _header(kind: int, params: FheParams) -> bytes:
@@ -120,6 +134,114 @@ def load_lwe_batch(raw: bytes) -> LweBatch:
     if a.shape[0] != b.shape[0]:
         raise ParameterError("inconsistent LWE batch")
     return LweBatch(a, b, int(modulus))
+
+
+# -- compiled plans ----------------------------------------------------------
+
+
+def dump_plan(plan) -> bytes:
+    """Serialize a :class:`repro.core.plan.CompiledProgram`.
+
+    The wire form carries only derived, non-secret model artifacts: kernel
+    and bias coefficient vectors, extraction positions, LUT tables with
+    their interpolated polynomials, and the chunk cap. NTT operand forms,
+    BSGS schedules, S2C diagonals, and tile corrections are deterministic
+    functions of those (plus the parameter set) and are rebuilt at load.
+    """
+    from repro.core.plan import CompiledLinear
+
+    buf = io.BytesIO()
+    buf.write(_header(KIND_PLAN, plan.params))
+    _write_str(buf, plan.name)
+    _write_str(buf, plan.model_hash)
+    buf.write(struct.pack("<Q", 0 if plan.chunk is None else plan.chunk))
+    buf.write(struct.pack("<I", len(plan.steps)))
+    for cstep in plan.steps:
+        is_linear = isinstance(cstep, CompiledLinear)
+        buf.write(struct.pack("<B", int(is_linear)))
+        _write_str(buf, cstep.name)
+        if not is_linear:
+            _write_str(buf, cstep.kind)
+            continue
+        _write_str(buf, cstep.op)
+        buf.write(struct.pack("<B", int(cstep.s2c)))
+        _write_array(buf, cstep.positions)
+        _write_array(buf, cstep.kernel.coeffs)
+        buf.write(struct.pack("<B", int(cstep.bias is not None)))
+        if cstep.bias is not None:
+            _write_array(buf, cstep.bias.coeffs)
+        _write_str(buf, cstep.lut.name)
+        _write_array(buf, cstep.lut.values)
+        _write_array(buf, cstep.lut.coeffs)
+    return buf.getvalue()
+
+
+def load_plan(raw: bytes, params: FheParams):
+    """Rebuild a :class:`repro.core.plan.CompiledProgram` from wire bytes.
+
+    LUT interpolations are seeded into the FBS cache from the artifact
+    (never recomputed); plaintext operands are re-warmed so the loaded plan
+    is immediately as fast as a freshly compiled one.
+    """
+    from repro.core.plan import (
+        CompiledLinear,
+        CompiledOpaque,
+        CompiledProgram,
+        _build_tiles,
+    )
+
+    buf = io.BytesIO(raw)
+    _check_header(buf, KIND_PLAN, params)
+    name = _read_str(buf)
+    model_hash = _read_str(buf)
+    (chunk_raw,) = struct.unpack("<Q", buf.read(8))
+    chunk = int(chunk_raw) or None
+    (n_steps,) = struct.unpack("<I", buf.read(4))
+    steps: list = []
+    for index in range(n_steps):
+        (is_linear,) = struct.unpack("<B", buf.read(1))
+        step_name = _read_str(buf)
+        if not is_linear:
+            steps.append(CompiledOpaque(index, step_name, _read_str(buf)))
+            continue
+        op = _read_str(buf)
+        (s2c,) = struct.unpack("<B", buf.read(1))
+        positions = _read_array(buf)
+        kernel = Plaintext.from_coeffs(_read_array(buf), params)
+        kernel.pmult_operand()
+        (has_bias,) = struct.unpack("<B", buf.read(1))
+        bias = None
+        if has_bias:
+            bias = Plaintext.from_coeffs(_read_array(buf), params)
+            bias.add_operand()
+        lut_name = _read_str(buf)
+        values = _read_array(buf)
+        coeffs = _read_array(buf)
+        register_interpolation(values, params.t, coeffs)
+        lut = FbsLut(values, params.t, lut_name)
+        steps.append(
+            CompiledLinear(
+                index=index,
+                name=step_name,
+                op=op,
+                s2c=bool(s2c),
+                kernel=kernel,
+                bias=bias,
+                positions=positions,
+                out_count=positions.shape[0],
+                lut=lut,
+                fbs=FbsPlan.from_lut(lut).materialize(params),
+                tiles=_build_tiles(positions, lut, params, chunk),
+            )
+        )
+    return CompiledProgram(
+        steps=steps,
+        params=params,
+        chunk=chunk,
+        s2c=S2CPlan.build(params),
+        model_hash=model_hash,
+        name=name,
+    )
 
 
 # -- secret keys (explicit opt-in) -------------------------------------------------

@@ -1,0 +1,15 @@
+"""Warm inference serving: compile once, run many.
+
+The deployment loop the paper assumes — a datacenter holding one model and
+answering a stream of encrypted requests — splits into a one-time compile
+(:func:`repro.core.plan.compile_program`) and a per-request run of
+ciphertext ops only. :class:`InferenceSession` owns that split for one
+model + parameter set; :class:`PlanCache` persists compiled plans on disk,
+keyed by ``(model hash, params hash)``, so even the compile is paid once
+per model *ever*, not once per process.
+"""
+
+from repro.serve.cache import PlanCache
+from repro.serve.session import InferenceSession
+
+__all__ = ["InferenceSession", "PlanCache"]

@@ -1,0 +1,43 @@
+"""On-disk compiled-plan cache keyed by (model hash, params hash)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.plan import CompiledProgram, compile_program, program_fingerprint
+from repro.fhe.params import FheParams
+from repro.fhe.serialize import dump_plan, load_plan, params_fingerprint
+
+
+class PlanCache:
+    """Persist :class:`CompiledProgram` artifacts across processes.
+
+    The cache key is the pair of fingerprints that fully determine a plan —
+    the lowered model (structure + weights + quantization config) and the
+    parameter set — plus the chunk cap, which changes the tile layout.
+    Artifacts contain no key material, so a shared cache directory is safe.
+    """
+
+    SUFFIX = ".plan"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(
+        self, model_hash: str, params: FheParams, chunk: int | None = None
+    ) -> Path:
+        phash = params_fingerprint(params).hex()
+        tag = f"-c{chunk}" if chunk is not None else ""
+        return self.root / f"{model_hash[:16]}-{phash}{tag}{self.SUFFIX}"
+
+    def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
+        """Load the program's plan from disk, compiling (and saving) on miss."""
+        path = self.path_for(program_fingerprint(program), params, chunk)
+        if path.exists():
+            plan = load_plan(path.read_bytes(), params)
+            plan.bind(program, params)
+            return plan
+        plan = compile_program(program, params, chunk=chunk)
+        path.write_bytes(dump_plan(plan))
+        return plan

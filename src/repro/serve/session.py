@@ -1,0 +1,104 @@
+"""A warm inference session: one compiled model, many encrypted requests."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.framework import AthenaPipeline, LoopCost
+from repro.core.plan import CompiledProgram, compile_program
+from repro.core.program import AthenaProgram, lower
+from repro.fhe.params import TEST_LOOP, FheParams
+from repro.perf import ParallelMap, PerfRecorder
+
+
+class InferenceSession:
+    """Compile once, run many: the warm-serving façade over the pipeline.
+
+    Construction does all request-invariant work — key generation, then
+    either plan compilation, a :class:`repro.serve.PlanCache` lookup, or
+    binding a caller-supplied deserialized plan — and records its duration
+    as ``compile_s``. Each :meth:`run` then performs only ciphertext ops,
+    timed by a fresh per-request :class:`PerfRecorder` (so ``compile_s``
+    and per-request ``run_s`` never mix; a cold ``run_program`` instead
+    carries its compile inside the run span under the ``compile`` phase).
+
+    Requests are serialized by an internal lock — the pipeline's recorder
+    attachment and deterministic randomness are per-pipeline state — while
+    each request still fans out its chunked tiles through ``pmap``
+    internally. Outputs are bit-identical to a plan-free
+    :meth:`AthenaPipeline.run_program` on the same pipeline state: the plan
+    only moves operand derivation to compile time, never changing the
+    homomorphic op sequence.
+    """
+
+    def __init__(
+        self,
+        model,
+        params: FheParams | None = None,
+        seed: int = 0,
+        chunk: int | None = None,
+        pmap: ParallelMap | None = None,
+        plan: CompiledProgram | None = None,
+        cache=None,
+    ):
+        if isinstance(model, AthenaProgram):
+            program = model
+            params = params or program.params
+        else:
+            params = params or TEST_LOOP
+            program = lower(model, params)
+        self.program = program
+        self.params = params
+        self.pipeline = AthenaPipeline(params, seed=seed)
+        self.pmap = pmap
+        self._lock = threading.Lock()
+        start = time.perf_counter()
+        if plan is not None:
+            plan.bind(program, params)
+        elif cache is not None:
+            plan = cache.get(program, params, chunk)
+        else:
+            plan = compile_program(program, params, chunk=chunk)
+        self.plan = plan
+        self.compile_s = time.perf_counter() - start
+        self.requests = 0
+        self.run_s = 0.0
+        self.last_perf: PerfRecorder | None = None
+
+    def run(
+        self,
+        x_q: np.ndarray,
+        cost: LoopCost | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> np.ndarray:
+        """One encrypted inference; returns centered integer outputs."""
+        recorder = perf if perf is not None else PerfRecorder()
+        with self._lock:
+            previous = self.pipeline.perf
+            self.pipeline.attach_perf(recorder)
+            try:
+                out = self.pipeline.run_program(
+                    self.program, x_q, cost, pmap=self.pmap, plan=self.plan
+                )
+            finally:
+                self.pipeline.attach_perf(previous)
+        self.requests += 1
+        self.run_s += recorder.wall_s
+        self.last_perf = recorder
+        return out
+
+    def stats(self) -> dict:
+        """JSON-ready session accounting: compile vs run phases, separated."""
+        return {
+            "model": self.program.name,
+            "model_hash": self.plan.model_hash,
+            "compile_s": round(self.compile_s, 6),
+            "requests": self.requests,
+            "run_s": round(self.run_s, 6),
+            "mean_run_s": (
+                round(self.run_s / self.requests, 6) if self.requests else None
+            ),
+        }

@@ -198,10 +198,10 @@ class TestChunkedCiphertextPath:
     def _setup(self):
         from repro.core.program import lower
         from repro.fhe.params import TEST_LOOP
-        from repro.perf.bench import _mnist_cnn_model
+        from repro.perf.bench import mnist_cnn_micro
 
         rng = np.random.default_rng(5)
-        qm = _mnist_cnn_model(rng)
+        qm = mnist_cnn_micro(rng)
         x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
         return lower(qm, TEST_LOOP), qm, x_q
 

@@ -1,0 +1,169 @@
+"""Compile/runtime split: CompiledProgram artifacts, wire format, cache.
+
+The fast tests here pin the *structure* of the split — what gets computed
+at compile time, how plans fingerprint, serialize, and cache. The
+end-to-end guarantee (plan-driven execution is bit-identical to plan-free
+execution, including through a save -> load round trip) runs real
+ciphertext loops and lives in ``tests/test_program.py`` under the ``slow``
+marker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import (
+    CompiledLinear,
+    CompiledOpaque,
+    compile_program,
+    program_fingerprint,
+)
+from repro.core.program import lower
+from repro.errors import ParameterError
+from repro.fhe.params import TEST_LOOP, TEST_SMALL
+from repro.fhe.serialize import dump_plan, load_plan
+from repro.perf.bench import mnist_cnn_micro
+from repro.serve import InferenceSession, PlanCache
+
+
+def _program():
+    rng = np.random.default_rng(5)
+    qm = mnist_cnn_micro(rng)
+    return qm, lower(qm, TEST_LOOP)
+
+
+class TestFingerprint:
+    def test_stable_across_relowering(self):
+        _, program = _program()
+        again = lower(mnist_cnn_micro(np.random.default_rng(5)), TEST_LOOP)
+        assert program_fingerprint(program) == program_fingerprint(again)
+
+    def test_sensitive_to_weights(self):
+        qm, program = _program()
+        before = program_fingerprint(program)
+        qm.layers[0].weight = qm.layers[0].weight.copy()
+        qm.layers[0].weight[0, 0, 0, 0] += 1
+        assert program_fingerprint(lower(qm, TEST_LOOP)) != before
+
+
+class TestCompileProgram:
+    def test_compile_precomputes_everything_request_invariant(self):
+        _, program = _program()
+        plan = program.compile()
+        assert [type(s) for s in plan.steps] == [
+            CompiledLinear, CompiledOpaque, CompiledLinear,
+        ]
+        conv, reshape, fc = plan.steps
+        assert reshape.kind == "reshape"
+        assert (conv.out_count, fc.out_count) == (32, 3)
+        assert conv.s2c is True and fc.s2c is False  # tail fusion preserved
+        # Operand forms are warmed at compile time, not first request.
+        assert conv.kernel._ntt_op is not None
+        assert conv.bias is not None and conv.bias._scaled_op is not None
+        assert conv.fbs.degree > 0 and conv.lut.t == TEST_LOOP.t
+        assert conv.tiles is None  # unchunked round: one tile
+        assert plan.s2c.direct.baby_steps == plan.s2c.crossed.baby_steps
+        assert plan.model_hash == program_fingerprint(program)
+
+    def test_chunked_tile_layout(self):
+        _, program = _program()
+        plan = compile_program(program, TEST_LOOP, chunk=16)
+        conv, _, fc = plan.steps
+        assert [t.offset for t in conv.tiles] == [0, 16]
+        assert all(t.positions.shape[0] == 16 for t in conv.tiles)
+        for tile in conv.tiles:
+            assert (tile.correction is None) == (int(conv.lut.values[0]) == 0)
+        assert fc.tiles is None  # 3 outputs <= chunk
+
+    def test_bind_rejects_other_params(self):
+        _, program = _program()
+        plan = compile_program(program, TEST_LOOP)
+        with pytest.raises(ParameterError):
+            plan.bind(program, TEST_SMALL)
+
+    def test_bad_chunk_rejected(self):
+        _, program = _program()
+        with pytest.raises(ParameterError):
+            compile_program(program, TEST_LOOP, chunk=0)
+
+
+class TestWireFormat:
+    def test_round_trip_preserves_artifacts(self):
+        _, program = _program()
+        plan = compile_program(program, TEST_LOOP, chunk=16)
+        loaded = load_plan(dump_plan(plan), TEST_LOOP)
+        assert loaded.model_hash == plan.model_hash
+        assert loaded.chunk == plan.chunk and loaded.name == plan.name
+        assert len(loaded.steps) == len(plan.steps)
+        for got, want in zip(loaded.steps, plan.steps):
+            assert type(got) is type(want) and got.name == want.name
+            if isinstance(want, CompiledLinear):
+                assert np.array_equal(got.kernel.coeffs, want.kernel.coeffs)
+                assert np.array_equal(got.positions, want.positions)
+                assert np.array_equal(got.lut.values, want.lut.values)
+                assert np.array_equal(got.lut.coeffs, want.lut.coeffs)
+                assert got.s2c == want.s2c and got.op == want.op
+                if want.bias is None:
+                    assert got.bias is None
+                else:
+                    assert np.array_equal(got.bias.coeffs, want.bias.coeffs)
+                assert got.fbs.groups == want.fbs.groups
+        # The loaded plan binds to an equivalent re-lowered program.
+        loaded.bind(lower(mnist_cnn_micro(np.random.default_rng(5)), TEST_LOOP),
+                    TEST_LOOP)
+
+    def test_wrong_params_rejected(self):
+        _, program = _program()
+        raw = dump_plan(compile_program(program, TEST_LOOP))
+        with pytest.raises(ParameterError):
+            load_plan(raw, TEST_SMALL)
+
+
+class TestPlanCache:
+    def test_miss_compiles_and_persists(self, tmp_path):
+        _, program = _program()
+        cache = PlanCache(tmp_path)
+        plan = cache.get(program, TEST_LOOP)
+        path = cache.path_for(plan.model_hash, TEST_LOOP)
+        assert path.exists() and path.suffix == ".plan"
+
+    def test_hit_loads_from_disk(self, tmp_path, monkeypatch):
+        _, program = _program()
+        cache = PlanCache(tmp_path)
+        first = cache.get(program, TEST_LOOP)
+        # A second lookup must not recompile: poison compile_program.
+        import repro.serve.cache as cache_mod
+
+        def boom(*a, **k):  # pragma: no cover - fails the test if reached
+            raise AssertionError("cache hit must not recompile")
+
+        monkeypatch.setattr(cache_mod, "compile_program", boom)
+        second = cache.get(program, TEST_LOOP)
+        assert second.model_hash == first.model_hash
+        assert np.array_equal(
+            second.steps[0].kernel.coeffs, first.steps[0].kernel.coeffs
+        )
+
+    def test_chunk_gets_its_own_entry(self, tmp_path):
+        _, program = _program()
+        cache = PlanCache(tmp_path)
+        cache.get(program, TEST_LOOP)
+        cache.get(program, TEST_LOOP, chunk=16)
+        assert len(list(tmp_path.glob("*.plan"))) == 2
+
+
+@pytest.mark.slow
+class TestInferenceSession:
+    def test_session_answers_requests_and_separates_phases(self):
+        qm, program = _program()
+        rng = np.random.default_rng(7)
+        session = InferenceSession(program, TEST_LOOP, seed=41)
+        for _ in range(2):
+            x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
+            got = session.run(x_q)
+            want = qm.forward_int(x_q[None])[0]
+            assert np.abs(got - want).max() <= 2
+        stats = session.stats()
+        assert stats["requests"] == 2
+        assert stats["compile_s"] > 0 and stats["run_s"] > 0
+        # Warm requests never pay the compile phase.
+        assert "compile" not in session.last_perf.phase_s

@@ -348,6 +348,38 @@ class TestSatelliteFixes:
         a.fbs.smult += 5
         assert b.fbs.smult == 0
 
+    def test_interpolation_cached_by_table_bytes(self):
+        from repro.fhe.fbs import FbsLut
+
+        a = FbsLut(np.arange(17, dtype=np.int64), 17, "first")
+        b = FbsLut(np.arange(17, dtype=np.int64), 17, "second")
+        assert a.coeffs is b.coeffs  # one interpolation, shared read-only
+        assert not a.coeffs.flags.writeable
+
+    def test_register_interpolation_seeds_cache(self):
+        from repro.fhe.fbs import FbsLut, interpolate_lut, register_interpolation
+
+        vals = (np.arange(17, dtype=np.int64) * 3) % 17
+        coeffs = interpolate_lut(vals, 17)
+        register_interpolation(vals, 17, coeffs)
+        lut = FbsLut(vals, 17, "seeded")
+        assert np.array_equal(lut.coeffs, coeffs)
+
+    def test_stock_lut_builders_cached(self):
+        from repro.core.lut import avgpool_lut
+
+        assert relu_lut(257) is relu_lut(257)
+        assert avgpool_lut(2, 257) is avgpool_lut(2, 257)
+        assert avgpool_lut(2, 257) is not avgpool_lut(3, 257)
+
+    def test_plaintext_operand_forms_cached(self):
+        from repro.fhe.bfv import Plaintext
+        from repro.fhe.params import TEST_LOOP
+
+        pt = Plaintext.from_coeffs(np.arange(8, dtype=np.int64), TEST_LOOP)
+        assert pt.pmult_operand() is pt.pmult_operand()
+        assert pt.add_operand() is pt.add_operand()
+
 
 # ---------------------------------------------------------------------------
 # Real-ciphertext backend: run_program chains two five-step rounds
@@ -410,3 +442,77 @@ class TestCiphertextProgram:
 
         run_program(program, ex, rng.integers(-3, 4, (1, 6, 6)).astype(np.int64))
         assert ex.tail_s2c is False and ex.out_count == 3
+
+
+@pytest.mark.slow
+class TestCompiledPlanBitIdentity:
+    """The compile/runtime split must not change a single output bit.
+
+    A plan only moves operand *derivation* to compile time; the homomorphic
+    op sequence is untouched, so two pipelines with identical seeds must
+    produce byte-identical outputs whether the plan is precompiled,
+    compiled in-span, or rebuilt from its serialized artifact.
+    """
+
+    def _setup(self):
+        from repro.fhe.params import TEST_LOOP
+        from repro.perf.bench import mnist_cnn_micro
+
+        rng = np.random.default_rng(5)
+        qm = mnist_cnn_micro(rng)
+        x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
+        return lower(qm, TEST_LOOP), x_q
+
+    def test_precompiled_plan_matches_in_span_compile(self):
+        from repro.core.framework import AthenaPipeline, LoopCost
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        program, x_q = self._setup()
+        baseline = AthenaPipeline(TEST_LOOP, seed=7).run_program(program, x_q)
+
+        plan = compile_program(program, TEST_LOOP)
+        cost = LoopCost()
+        got = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, cost, plan=plan
+        )
+        assert np.array_equal(got, baseline)
+        # The thin interpreter still meters the same ciphertext ops.
+        assert cost.pmult == 2 and cost.extractions == 32 + 3
+
+    def test_save_load_run_round_trip(self):
+        from repro.core.framework import AthenaPipeline
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+        from repro.fhe.serialize import dump_plan, load_plan
+        from repro.perf.bench import mnist_cnn_micro
+
+        program, x_q = self._setup()
+        plan = compile_program(program, TEST_LOOP)
+        loaded = load_plan(dump_plan(plan), TEST_LOOP)
+
+        want = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, plan=plan
+        )
+        # The loaded plan drives an *equivalent re-lowered* program — plan
+        # artifacts resolve by step index, never by step object identity.
+        relowered = lower(mnist_cnn_micro(np.random.default_rng(5)), TEST_LOOP)
+        got = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            relowered, x_q, plan=loaded
+        )
+        assert np.array_equal(got, want)
+
+    def test_chunked_plan_matches(self):
+        from repro.core.framework import AthenaPipeline
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        program, x_q = self._setup()
+        baseline = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, chunk=16
+        )
+        plan = compile_program(program, TEST_LOOP, chunk=16)
+        got = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, plan=plan
+        )
+        assert np.array_equal(got, baseline)
