@@ -30,3 +30,11 @@ def test_bench_pipeline(once, tmp_path):
     assert mnist["compile_s"] > 0
     assert 0 < mnist["warm_run_s"] < mnist["wall_s"]
     assert mnist["phase_s"].get("compile", 0) > 0
+    # Executed per-phase op counts: every record carries the primitives the
+    # CountingBackend observed, split by pipeline phase. The five-step loop
+    # phases must all be present and the FBS phase must dominate cmults.
+    for phase in ("linear", "se", "packing", "fbs", "fbs_giant", "s2c"):
+        assert phase in mnist["phase_ops"], phase
+    assert mnist["phase_ops"]["se"]["extract"] == mnist["ops"]["extract"]
+    assert mnist["phase_ops"]["fbs_giant"]["cmult"] == mnist["ops"]["fbs_cmult"]
+    assert records[1]["phase_ops"]["rns_ops"]["ntt"] > 0

@@ -12,7 +12,12 @@ Commands:
 * ``compile``                — precompute a CompiledProgram artifact
                                (kernels, LUT polynomials, BSGS/S2C plans).
 * ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json
-                               (includes cold-compile vs warm-run walls).
+                               (includes cold-compile vs warm-run walls and
+                               per-phase executed op counts; ``--backend``
+                               picks the dispatch engine).
+* ``trace``                  — analytical primitive-op trace of the micro
+                               model; ``--executed`` also runs it under a
+                               CountingBackend and reports parity.
 * ``ablation``               — accelerator design-choice ablations.
 
 Exit codes are uniform across commands: 0 on success, 1 when the library
@@ -264,19 +269,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import BENCH_FILENAME, run_benches
 
     out = args.out if args.out else BENCH_FILENAME
-    records = run_benches(out=out, quick=args.quick, seed=args.seed)
+    records = run_benches(out=out, quick=args.quick, seed=args.seed,
+                          backend=args.backend, trace_out=args.trace_out)
     lines = [f"wrote {out}"]
+    if args.trace_out:
+        lines.append(f"wrote {args.trace_out}")
     for r in records:
         speedup = r["speedup_vs_serial"]
         lines.append(
-            f"  {r['bench']}: wall {r['wall_s']:.3f}s, "
-            f"batched-RNS speedup vs serial {speedup:.2f}x"
+            f"  {r['bench']} [{r['params']['backend']}]: "
+            f"wall {r['wall_s']:.3f}s, speedup vs serial {speedup:.2f}x"
         )
     text = "\n".join(lines) + "\n"
     if args.json:
         sys.stdout.write(json.dumps(records, indent=2) + "\n")
     else:
         sys.stdout.write(text)
+    return EXIT_OK
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Analytical op-count trace; ``--executed`` compares against a real run."""
+    import numpy as np
+
+    from repro.core.trace import EXECUTED_FIELDS, trace_model
+    from repro.fhe.params import TEST_LOOP
+    from repro.perf.bench import mnist_cnn_micro
+
+    rng = np.random.default_rng(5)
+    qm = mnist_cnn_micro(rng)
+    analytical = trace_model(qm, TEST_LOOP, softmax=False)
+
+    if not args.executed:
+        by_phase = analytical.by_phase()
+        payload = {
+            "model": qm.name,
+            "mode": "analytical",
+            "phases": {
+                phase: {f: getattr(ops, f) for f in EXECUTED_FIELDS}
+                for phase, ops in sorted(by_phase.items())
+            },
+        }
+        text = f"{qm.name} @ test-loop (analytical)\n"
+        for phase, ops in sorted(by_phase.items()):
+            text += (f"  {phase:<10} ntt {ops.ntt:>10.0f}  "
+                     f"mod_mul {ops.mod_mul:>12.0f}  "
+                     f"mod_add {ops.mod_add:>12.0f}\n")
+        _emit(args, text, payload)
+        return EXIT_OK
+
+    from repro.core.framework import AthenaPipeline
+    from repro.core.program import lower
+    from repro.core.trace import compare_traces, executed_trace
+    from repro.fhe.backend import CountingBackend, use_backend
+
+    counting = CountingBackend(args.backend)
+    pipe = AthenaPipeline(TEST_LOOP, seed=args.seed)
+    x_q = rng.integers(-3, 4, (1, 6, 6)).astype(np.int64)
+    with use_backend(counting):
+        pipe.run_program(lower(qm, TEST_LOOP), x_q)
+    executed = executed_trace(counting, TEST_LOOP)
+    comparison = compare_traces(executed, analytical)
+    payload = {
+        "model": qm.name,
+        "mode": "executed",
+        "backend": counting.rns_name,
+        "comparison": comparison,
+    }
+    lines = [f"{qm.name} @ test-loop (executed [{counting.rns_name}] "
+             f"vs analytical)"]
+    for prim, row in comparison.items():
+        ratio = "n/a" if row["ratio"] is None else f"{row['ratio']:.3f}"
+        lines.append(f"  {prim:<10} executed {row['executed']:>14.0f}  "
+                     f"analytical {row['analytical']:>14.0f}  ratio {ratio}")
+    _emit(args, "\n".join(lines) + "\n", payload)
     return EXIT_OK
 
 
@@ -341,7 +407,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pipeline + RNS benchmarks (BENCH_pipeline.json)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: fewer repetitions")
+    p.add_argument("--backend", default="batched",
+                   choices=["batched", "serial"],
+                   help="op-dispatch backend to measure (default: batched)")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="also write the executed-op trace JSON to PATH")
     p.set_defaults(func=_cmd_bench, seed=41)
+
+    p = sub.add_parser("trace", parents=[seed, output],
+                       help="primitive op-count trace (analytical model)")
+    p.add_argument("--executed", action="store_true",
+                   help="run the micro model under a CountingBackend and "
+                        "compare executed vs analytical counts")
+    p.add_argument("--backend", default="batched",
+                   choices=["batched", "serial"],
+                   help="backend for --executed (default: batched)")
+    p.set_defaults(func=_cmd_trace, seed=41)
 
     p = sub.add_parser("ablation", help="accelerator design ablations")
     p.add_argument("--model", default="resnet20")

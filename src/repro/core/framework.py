@@ -38,6 +38,7 @@ from repro.core.program import (
 from repro.core.program import run_program as _run_steps
 from repro.errors import ParameterError
 from repro.fhe import lwe as lwelib
+from repro.fhe.backend import Backend, current_backend, get_backend, use_backend
 from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
 from repro.fhe.fbs import FbsCost, FbsLut, FbsPlan, fbs_evaluate
 from repro.fhe.packing import PackingKey, pack_lwe
@@ -75,6 +76,17 @@ class AthenaPipeline:
     canonical names ``pmult`` / ``mod_switch`` / ``extract`` / ``pack`` /
     ``fbs`` / ``s2c``, which are pairwise disjoint code regions, so their
     recorded durations sum to at most the run wall time.
+
+    A :class:`repro.fhe.backend.Backend` (or backend name) may be bound at
+    construction; every pipeline entry point then installs it as the
+    context-active backend for the duration of the call — including tile
+    rounds fanned out to worker threads, which re-install it themselves —
+    so op counting and batched/serial selection follow the pipeline rather
+    than whatever the ambient context happens to be. Without one, the
+    ambient :func:`current_backend` (contextvar, then ``REPRO_BACKEND``,
+    then batched) applies. Op *counts* are no longer tallied here: wrap the
+    pipeline's backend in a :class:`repro.fhe.backend.CountingBackend` to
+    observe every primitive actually dispatched.
     """
 
     def __init__(
@@ -83,19 +95,24 @@ class AthenaPipeline:
         seed: int = 0,
         ks_base_bits: int = 7,
         perf: PerfRecorder | None = None,
+        backend: Backend | str | None = None,
     ):
         self.params = params
         self.perf = perf
-        self.ctx = BfvContext(params, seed=seed)
-        self.sk, self.pk = self.ctx.keygen()
-        self.rlk = self.ctx.relin_key(self.sk)
-        sampler = Sampler(seed + 1, sigma=params.sigma)
-        self.lwe_secret = sampler.ternary(params.lwe_n)
-        self.lwe_ksk = lwelib.keyswitch_keygen(
-            self.sk.coeffs, self.lwe_secret, params.lwe_q, ks_base_bits, sampler
-        )
-        self.packing_key = PackingKey.generate(self.ctx, self.lwe_secret, self.sk, self.pk)
-        self.s2c_key = S2CKey.generate(self.ctx, self.sk)
+        self.backend = get_backend(backend) if backend is not None else None
+        with self._dispatch(), current_backend().phase("keygen"):
+            self.ctx = BfvContext(params, seed=seed)
+            self.sk, self.pk = self.ctx.keygen()
+            self.rlk = self.ctx.relin_key(self.sk)
+            sampler = Sampler(seed + 1, sigma=params.sigma)
+            self.lwe_secret = sampler.ternary(params.lwe_n)
+            self.lwe_ksk = lwelib.keyswitch_keygen(
+                self.sk.coeffs, self.lwe_secret, params.lwe_q, ks_base_bits, sampler
+            )
+            self.packing_key = PackingKey.generate(
+                self.ctx, self.lwe_secret, self.sk, self.pk
+            )
+            self.s2c_key = S2CKey.generate(self.ctx, self.sk)
 
     # -- instrumentation -----------------------------------------------------
 
@@ -106,9 +123,9 @@ class AthenaPipeline:
     def _phase(self, name: str):
         return self.perf.phase(name) if self.perf is not None else nullcontext()
 
-    def _count(self, name: str, k: int = 1) -> None:
-        if self.perf is not None:
-            self.perf.count(name, k)
+    def _dispatch(self):
+        """Install the pipeline's backend as the context-active one."""
+        return use_backend(self.backend) if self.backend is not None else nullcontext()
 
     # -- I/O -----------------------------------------------------------------
 
@@ -135,21 +152,21 @@ class AthenaPipeline:
         :class:`Plaintext` (a compile-time artifact whose NTT operand form
         is already cached — see :mod:`repro.core.plan`).
         """
-        with self._phase("pmult"):
+        with self._dispatch(), current_backend().phase("linear"), self._phase("pmult"):
             if not isinstance(kernel, Plaintext):
                 kernel = Plaintext.from_coeffs(kernel, self.params)
             out = self.ctx.pmult(ct, kernel)
-        self._count("pmult")
         if cost:
             cost.pmult += 1
         return out
 
     def accumulate(self, cts: list[BfvCiphertext], cost: LoopCost | None = None) -> BfvCiphertext:
-        acc = cts[0]
-        for ct in cts[1:]:
-            acc = self.ctx.add(acc, ct)
-            if cost:
-                cost.hadd += 1
+        with self._dispatch(), current_backend().phase("linear"):
+            acc = cts[0]
+            for ct in cts[1:]:
+                acc = self.ctx.add(acc, ct)
+                if cost:
+                    cost.hadd += 1
         return acc
 
     # -- Steps 2-3: noise control + conversion -------------------------------------
@@ -162,14 +179,13 @@ class AthenaPipeline:
     ) -> lwelib.LweBatch:
         """Modulus switch, extract the valid coefficients, switch dimension
         and modulus down to t. Resulting messages sit at Delta = 1."""
-        with self._phase("mod_switch"):
-            small = lwelib.rlwe_mod_switch(ct, self.params.lwe_q)
-        self._count("mod_switch")
-        with self._phase("extract"):
-            batch = lwelib.sample_extract(small, positions)
-            switched = lwelib.keyswitch(batch, self.lwe_ksk)
-            out = lwelib.lwe_mod_switch(switched, self.params.t)
-        self._count("extract", batch.count)
+        with self._dispatch():
+            with self._phase("mod_switch"):
+                small = lwelib.rlwe_mod_switch(ct, self.params.lwe_q)
+            with self._phase("extract"):
+                batch = lwelib.sample_extract(small, positions)
+                switched = lwelib.keyswitch(batch, self.lwe_ksk)
+                out = lwelib.lwe_mod_switch(switched, self.params.t)
         if cost:
             cost.extractions += batch.count
         return out
@@ -187,15 +203,14 @@ class AthenaPipeline:
 
         ``plan`` supplies a precomputed BSGS schedule; the op sequence (and
         result) is identical with or without it."""
-        with self._phase("pack"):
-            packed = pack_lwe(self.ctx, batch, self.packing_key)
-        self._count("pack")
-        with self._phase("fbs"):
-            out = fbs_evaluate(
-                self.ctx, packed, lut, self.rlk, cost.fbs if cost else None,
-                plan=plan,
-            )
-        self._count("fbs")
+        with self._dispatch():
+            with self._phase("pack"):
+                packed = pack_lwe(self.ctx, batch, self.packing_key)
+            with self._phase("fbs"):
+                out = fbs_evaluate(
+                    self.ctx, packed, lut, self.rlk, cost.fbs if cost else None,
+                    plan=plan,
+                )
         return out
 
     # -- loop closure -------------------------------------------------------------
@@ -204,9 +219,8 @@ class AthenaPipeline:
         self, ct: BfvCiphertext, plan: S2CPlan | None = None
     ) -> BfvCiphertext:
         """S2C: prepare the FBS output for the next coefficient-encoded layer."""
-        with self._phase("s2c"):
+        with self._dispatch(), self._phase("s2c"):
             out = slot_to_coeff(self.ctx, ct, self.s2c_key, plan=plan)
-        self._count("s2c")
         return out
 
     def loop(
@@ -258,12 +272,13 @@ class AthenaPipeline:
         noise, with ``QuantizedModel.forward_int`` on the same program.
         """
         span = self.perf.run() if self.perf is not None else nullcontext()
-        with span:
-            ex = CiphertextExecutor(
-                self, program, cost, chunk=chunk, pmap=pmap, plan=plan
-            )
-            ct = _run_steps(program, ex, np.asarray(x_q, dtype=np.int64))
-        raw = self.decrypt_coeffs(ct) if ex.tail_s2c else self.decrypt_slots(ct)
+        with self._dispatch():
+            with span:
+                ex = CiphertextExecutor(
+                    self, program, cost, chunk=chunk, pmap=pmap, plan=plan
+                )
+                ct = _run_steps(program, ex, np.asarray(x_q, dtype=np.int64))
+            raw = self.decrypt_coeffs(ct) if ex.tail_s2c else self.decrypt_slots(ct)
         vals = raw[: ex.out_count]
         t = self.params.t
         return np.where(vals > t // 2, vals - t, vals)
@@ -319,7 +334,7 @@ class CiphertextExecutor(ProgramExecutor):
         self.cost = cost
         self.pmap = pmap if pmap is not None else ParallelMap()
         if plan is None:
-            with pipe._phase("compile"):
+            with pipe._dispatch(), pipe._phase("compile"):
                 plan = compile_program(program, pipe.params, chunk=chunk)
         else:
             if chunk is not None and chunk != plan.chunk:
@@ -371,7 +386,8 @@ class CiphertextExecutor(ProgramExecutor):
                 ct = value
         out = pipe.linear(ct, cstep.kernel, self.cost)
         if cstep.bias is not None:
-            out = pipe.ctx.add_plain(out, cstep.bias)
+            with pipe._dispatch(), current_backend().phase("linear"):
+                out = pipe.ctx.add_plain(out, cstep.bias)
         self.out_count = cstep.out_count
         if cstep.tiles is None:
             batch = pipe.refresh_to_lwe(out, cstep.positions, self.cost)
@@ -397,15 +413,16 @@ class CiphertextExecutor(ProgramExecutor):
             [(tile,) for tile in cstep.tiles],
         )
         merged: BfvCiphertext | None = None
-        for ct_k, cost_k in rounds:
-            if merged is None:
-                merged = ct_k
-            else:
-                merged = pipe.ctx.add(merged, ct_k)
-                if self.cost is not None:
-                    self.cost.hadd += 1
-            if self.cost is not None and cost_k is not None:
-                self.cost.merge(cost_k)
+        with pipe._dispatch(), current_backend().phase("s2c"):
+            for ct_k, cost_k in rounds:
+                if merged is None:
+                    merged = ct_k
+                else:
+                    merged = pipe.ctx.add(merged, ct_k)
+                    if self.cost is not None:
+                        self.cost.hadd += 1
+                if self.cost is not None and cost_k is not None:
+                    self.cost.merge(cost_k)
         self.tail_s2c = True
         return merged
 
@@ -423,18 +440,24 @@ class CiphertextExecutor(ProgramExecutor):
         """
         pipe = self.pipe
         cost = LoopCost() if self.cost is not None else None
-        batch = pipe.refresh_to_lwe(out, tile.positions, cost)
-        boot = pipe.bootstrap(batch, cstep.lut, cost, plan=cstep.fbs)
-        if tile.correction is not None:
-            boot = pipe.ctx.add_plain(boot, tile.correction)
-        ct = pipe.to_coeffs(boot, plan=self.plan.s2c)
-        if tile.offset:
-            ct = BfvCiphertext(
-                ct.c0.negacyclic_shift(tile.offset),
-                ct.c1.negacyclic_shift(tile.offset),
-                ct.params,
-                ct.noise_bits,
-            )
+        # Tiles may run in pool worker threads; the pipeline's backend is
+        # re-installed here because thread workers start from the context
+        # captured at submit time, not the caller's.
+        with pipe._dispatch():
+            batch = pipe.refresh_to_lwe(out, tile.positions, cost)
+            boot = pipe.bootstrap(batch, cstep.lut, cost, plan=cstep.fbs)
+            if tile.correction is not None:
+                with current_backend().phase("fbs"):
+                    boot = pipe.ctx.add_plain(boot, tile.correction)
+            ct = pipe.to_coeffs(boot, plan=self.plan.s2c)
+            if tile.offset:
+                with current_backend().phase("s2c"):
+                    ct = BfvCiphertext(
+                        ct.c0.negacyclic_shift(tile.offset),
+                        ct.c1.negacyclic_shift(tile.offset),
+                        ct.params,
+                        ct.noise_bits,
+                    )
         return ct, cost
 
     def pool(self, step: PoolStep, value):

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.encoding import encode_kernels
 from repro.core.program import AthenaProgram, LinearStep
 from repro.errors import ParameterError
+from repro.fhe.backend import current_backend
 from repro.fhe.bfv import Plaintext
 from repro.fhe.fbs import FbsLut, FbsPlan
 from repro.fhe.params import FheParams
@@ -262,17 +263,20 @@ def compile_program(
         params = program.params
     if chunk is not None and chunk < 1:
         raise ParameterError(f"chunk cap must be >= 1, got {chunk}")
-    steps: list = []
-    for i, step in enumerate(program.steps):
-        if step.kind == "linear" and step.fused_pool is None:
-            steps.append(_compile_linear(step, i, program, params, chunk))
-        else:
-            steps.append(CompiledOpaque(i, step.name, step.kind))
-    return CompiledProgram(
-        steps=steps,
-        params=params,
-        chunk=chunk,
-        s2c=S2CPlan.build(params),
-        model_hash=program_fingerprint(program),
-        name=program.name,
-    )
+    # Compile-time NTT transforms (cached plaintext operands) are labeled
+    # so a counting backend separates them from per-request work.
+    with current_backend().phase("compile"):
+        steps: list = []
+        for i, step in enumerate(program.steps):
+            if step.kind == "linear" and step.fused_pool is None:
+                steps.append(_compile_linear(step, i, program, params, chunk))
+            else:
+                steps.append(CompiledOpaque(i, step.name, step.kind))
+        return CompiledProgram(
+            steps=steps,
+            params=params,
+            chunk=chunk,
+            s2c=S2CPlan.build(params),
+            model_hash=program_fingerprint(program),
+            name=program.name,
+        )

@@ -366,6 +366,77 @@ class TraceExecutor(ProgramExecutor):
         _lut_round(trace, params, step.name, params.n, self._t(step.layer))
 
 
+# -- executed traces -----------------------------------------------------------
+
+#: Phases a CountingBackend records that correspond to per-request runtime
+#: work (the analytical model's domain). ``compile`` / ``keygen`` / ``other``
+#: are request-invariant or unattributed and are excluded by default.
+RUNTIME_PHASES = ("linear", "se", "packing", "fbs", "fbs_giant", "s2c",
+                  "pooling", "softmax")
+
+#: OpCounts fields an executed trace can populate (hbm_bytes is a pure
+#: analytical estimate — nothing in the Python engine measures traffic).
+EXECUTED_FIELDS = ("ntt", "automorph", "mod_mul", "mod_add", "extract",
+                   "rnsconv")
+
+
+def executed_trace(
+    counting,
+    params: FheParams,
+    model: str = "executed",
+    include: tuple[str, ...] | None = RUNTIME_PHASES,
+) -> WorkloadTrace:
+    """View a :class:`repro.fhe.backend.CountingBackend`'s records as a
+    :class:`WorkloadTrace` — the same shape the analytical model emits, so
+    :func:`repro.accel.scheduler.schedule` can consume ops *actually
+    executed* instead of (or alongside) the model's predictions.
+
+    Primitive mapping: the counting backend's RNS-tier units are already
+    the trace units (``ntt`` per limb transform, ``mod_mul``/``mod_add``
+    per element, ``rnsconv`` per mod-switch element, ``extract`` per LWE
+    sample); negacyclic shifts fold into ``automorph`` (both are limb-wise
+    index permutations on the accelerator datapath). ``hbm_bytes`` stays 0:
+    the executed side measures arithmetic, not traffic.
+
+    ``include`` filters phases (default: runtime phases only); pass ``None``
+    to keep everything, including ``compile`` / ``keygen`` / ``other``.
+    """
+    trace = WorkloadTrace(model, params)
+    for phase, ops in sorted(counting.ops_by_phase().items()):
+        if include is not None and phase not in include:
+            continue
+        trace.add(phase, "executed", OpCounts(
+            ntt=float(ops.get("ntt", 0)),
+            automorph=float(ops.get("automorph", 0) + ops.get("shift", 0)),
+            mod_mul=float(ops.get("mod_mul", 0)),
+            mod_add=float(ops.get("mod_add", 0)),
+            extract=float(ops.get("extract", 0)),
+            rnsconv=float(ops.get("rnsconv", 0)),
+        ))
+    return trace
+
+
+def compare_traces(
+    executed: WorkloadTrace, analytical: WorkloadTrace
+) -> dict[str, dict]:
+    """Primitive-by-primitive totals of an executed vs an analytical trace.
+
+    Returns ``{primitive: {executed, analytical, ratio}}`` with ratio =
+    executed / analytical (None when the analytical count is zero). The
+    op-count parity suite and ``repro trace --executed`` both render this.
+    """
+    ex, an = executed.totals(), analytical.totals()
+    out: dict[str, dict] = {}
+    for name in EXECUTED_FIELDS:
+        e, a = getattr(ex, name), getattr(an, name)
+        out[name] = {
+            "executed": e,
+            "analytical": a,
+            "ratio": round(e / a, 4) if a else None,
+        }
+    return out
+
+
 def trace_model(
     qmodel: QuantizedModel,
     params: FheParams = ATHENA,

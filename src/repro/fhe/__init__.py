@@ -9,8 +9,19 @@ Public surface:
 * :mod:`repro.fhe.fbs` — LUT interpolation + Paterson-Stockmeyer evaluation
 * :mod:`repro.fhe.s2c` — slot-to-coefficient transform
 * :mod:`repro.fhe.ckks` — compact CKKS baseline
+* :mod:`repro.fhe.backend` — pluggable op-dispatch backends
+  (batched / serial / counting) with context-local selection
 """
 
+from repro.fhe.backend import (
+    Backend,
+    BatchedBackend,
+    CountingBackend,
+    SerialBackend,
+    current_backend,
+    get_backend,
+    use_backend,
+)
 from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
 from repro.fhe.fbs import FbsCost, FbsLut, fbs_evaluate, interpolate_lut
 from repro.fhe.lwe import (
@@ -45,8 +56,12 @@ __all__ = [
     "TEST_LOOP",
     "TEST_SMALL",
     "TEST_TINY",
+    "Backend",
+    "BatchedBackend",
     "BfvCiphertext",
     "BfvContext",
+    "CountingBackend",
+    "SerialBackend",
     "FbsCost",
     "FbsLut",
     "FheParams",
@@ -55,7 +70,9 @@ __all__ = [
     "Plaintext",
     "S2CKey",
     "SmallRlwe",
+    "current_backend",
     "fbs_evaluate",
+    "get_backend",
     "get_params",
     "interpolate_lut",
     "keyswitch",
@@ -70,5 +87,6 @@ __all__ = [
     "check_params",
     "security_level",
     "slot_to_coeff",
+    "use_backend",
     "use_serial_rns",
 ]

@@ -1,0 +1,620 @@
+"""Pluggable op-dispatch backends for every homomorphic primitive.
+
+Every primitive the Athena loop executes — RNS NTT/INTT and limb
+arithmetic, modulus switching, LWE sample extraction and dimension
+switching, the packing matrix-vector product, FBS evaluation (baby and
+giant halves), and the S2C transform — dispatches through the *active*
+:class:`Backend`. Three backends ship:
+
+* :class:`BatchedBackend` — the residue-stacked numpy engine (default):
+  every RnsPoly op treats the (L, N) residue matrix as one stacked array,
+  multiplications go through :func:`repro.fhe.ntt.ntt_forward_rns`.
+* :class:`SerialBackend` — the original per-prime loops, frozen as the
+  reference semantics. The equivalence suite pins the batched path
+  bit-identical to it.
+* :class:`CountingBackend` — a wrapper that executes through an inner
+  backend while recording per-phase primitive counts compatible with the
+  analytical :class:`repro.core.trace.OpCounts` model, so the trace
+  model is verifiable against ops actually executed and the accelerator
+  scheduler can consume *executed* traces.
+
+Selection is **context-local** (:class:`contextvars.ContextVar`), not a
+module global: two threads — or two :class:`repro.serve.InferenceSession`
+requests — may run different backends concurrently without interfering.
+The process-wide default honors the ``REPRO_BACKEND`` environment variable
+(``batched`` | ``serial``), which is how CI runs the whole tier-1 suite
+under the serial reference.
+
+Bit-identity contract: all backends reduce the same integers modulo the
+same primes — only loop structure and instrumentation differ — so every
+primitive's output is bit-for-bit identical across backends. The
+cross-backend equivalence suite (``tests/test_backend.py``) pins this at
+the RnsPoly level and end-to-end through the five-step pipeline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.ntt import (
+    ntt_forward,
+    ntt_forward_rns,
+    ntt_inverse,
+    ntt_inverse_rns,
+)
+from repro.utils.modmath import inv_mod
+
+__all__ = [
+    "Backend",
+    "BatchedBackend",
+    "CountingBackend",
+    "SerialBackend",
+    "current_backend",
+    "default_backend",
+    "get_backend",
+    "use_backend",
+]
+
+
+@lru_cache(maxsize=None)
+def automorphism_map(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Destination indices and signs for the map X -> X^k on degree-N rings.
+
+    Coefficient j of the input lands at index (j*k mod 2N); indices >= N wrap
+    negacyclically: X^(N+r) = -X^r. ``k`` must be odd so the map is a ring
+    automorphism.
+    """
+    if k % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {k}")
+    j = np.arange(n, dtype=np.int64)
+    dest = (j * (k % (2 * n))) % (2 * n)
+    sign = np.where(dest >= n, -1, 1).astype(np.int64)
+    dest = np.where(dest >= n, dest - n, dest)
+    return dest, sign
+
+
+@lru_cache(maxsize=None)
+def _moduli_column(moduli: tuple[int, ...]) -> np.ndarray:
+    """(L, 1) int64 broadcast column for a modulus chain."""
+    col = np.array(moduli, dtype=np.int64)[:, None]
+    col.setflags(write=False)
+    return col
+
+
+class _BatchedKernel:
+    """Residue-stacked arithmetic: one numpy pass covers every limb."""
+
+    name = "batched"
+
+    @staticmethod
+    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return (a + b) % _moduli_column(moduli)
+
+    @staticmethod
+    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return (a - b) % _moduli_column(moduli)
+
+    @staticmethod
+    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return -a % _moduli_column(moduli)
+
+    @staticmethod
+    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        fa = ntt_forward_rns(a, moduli)
+        fb = ntt_forward_rns(b, moduli)
+        return ntt_inverse_rns(fa * fb % mods, moduli)
+
+    @staticmethod
+    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        return ntt_forward_rns(a, moduli)
+
+    @staticmethod
+    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        fa = ntt_forward_rns(a, moduli)
+        return ntt_inverse_rns(fa * fb % mods, moduli)
+
+    @staticmethod
+    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        residues = np.array([value % p for p in moduli], dtype=np.int64)[:, None]
+        return a * residues % mods
+
+    @staticmethod
+    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        mods = _moduli_column(moduli)
+        invs = np.array([inv_mod(value, p) for p in moduli], dtype=np.int64)[:, None]
+        return a * invs % mods
+
+    @staticmethod
+    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        dest, sign = automorphism_map(n, k)
+        out = np.empty_like(a)
+        # |a * sign| < p < 2**31, so the signed product is int64-exact.
+        out[:, dest] = a * sign % _moduli_column(moduli)
+        return out
+
+    @staticmethod
+    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        mods = _moduli_column(moduli)
+        rolled = np.roll(a, shift % n, axis=1)
+        if shift % n:
+            rolled[:, : shift % n] = -rolled[:, : shift % n] % mods
+        if shift >= n:
+            rolled = -rolled % mods
+        return rolled
+
+
+class _SerialKernel:
+    """The pre-batching per-prime loops, frozen as reference semantics."""
+
+    name = "serial"
+
+    @staticmethod
+    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = a + b
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = a - b
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        data = -a
+        for i, p in enumerate(moduli):
+            data[i] %= p
+        return data
+
+    @staticmethod
+    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            fa = ntt_forward(a[i].copy(), p)
+            fb = ntt_forward(b[i].copy(), p)
+            out[i] = ntt_inverse(fa * fb % p, p)
+        return out
+
+    @staticmethod
+    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = ntt_forward(a[i].copy(), p)
+        return out
+
+    @staticmethod
+    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            fa = ntt_forward(a[i].copy(), p)
+            out[i] = ntt_inverse(fa * fb[i] % p, p)
+        return out
+
+    @staticmethod
+    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = a[i] * (value % p) % p
+        return out
+
+    @staticmethod
+    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            out[i] = a[i] * inv_mod(value, p) % p
+        return out
+
+    @staticmethod
+    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        dest, sign = automorphism_map(n, k)
+        out = np.zeros_like(a)
+        signed = a * sign  # safe: |value| < p < 2**31
+        for i, p in enumerate(moduli):
+            out[i][dest] = signed[i] % p  # k odd => dest is a permutation
+        return out
+
+    @staticmethod
+    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
+        n = a.shape[1]
+        out = np.empty_like(a)
+        for i, p in enumerate(moduli):
+            row = a[i]
+            rolled = np.roll(row, shift % n)
+            if shift % n:
+                rolled[: shift % n] = (-rolled[: shift % n]) % p
+            if shift >= n:
+                rolled = (-rolled) % p
+            out[i] = rolled
+        return out
+
+
+class Backend:
+    """Dispatch point for every homomorphic primitive.
+
+    Three tiers:
+
+    * **RNS tier** — limb arithmetic on (L, N) residue matrices
+      (:meth:`add` .. :meth:`shift`, :meth:`mod_switch`). Concrete
+      backends plug a kernel here; this is where batched and serial
+      differ.
+    * **LWE tier** — the noise-control chain (:meth:`sample_extract`,
+      :meth:`lwe_keyswitch`, :meth:`lwe_rescale`). Default
+      implementations delegate to :mod:`repro.fhe.lwe`; a hardware
+      backend may override them wholesale.
+    * **composite tier** — :meth:`matvec` (packing / S2C diagonals),
+      :meth:`fbs`, :meth:`s2c`. Defaults delegate to the module
+      implementations, whose inner ops re-enter the active backend, so a
+      wrapper (e.g. :class:`CountingBackend`) observes every sub-op.
+
+    Plus two instrumentation hooks, no-ops except on counting backends:
+    :meth:`record` (a primitive event) and :meth:`phase` (a phase label
+    for subsequent events, used by the executed-trace model).
+    """
+
+    name = "base"
+    kernel = _BatchedKernel
+
+    @property
+    def rns_name(self) -> str:
+        """Name of the RNS arithmetic kernel actually executing."""
+        return self.kernel.name
+
+    # -- RNS tier ----------------------------------------------------------
+
+    def add(self, a, b, moduli):
+        return self.kernel.add(a, b, moduli)
+
+    def sub(self, a, b, moduli):
+        return self.kernel.sub(a, b, moduli)
+
+    def neg(self, a, moduli):
+        return self.kernel.neg(a, moduli)
+
+    def mul(self, a, b, moduli):
+        return self.kernel.mul(a, b, moduli)
+
+    def ntt(self, a, moduli):
+        return self.kernel.ntt(a, moduli)
+
+    def mul_ntt(self, a, fb, moduli):
+        return self.kernel.mul_ntt(a, fb, moduli)
+
+    def scalar_mul(self, a, value, moduli):
+        return self.kernel.scalar_mul(a, value, moduli)
+
+    def inv_scalar(self, a, value, moduli):
+        return self.kernel.inv_scalar(a, value, moduli)
+
+    def automorphism(self, a, k, moduli):
+        return self.kernel.automorphism(a, k, moduli)
+
+    def shift(self, a, shift, moduli):
+        return self.kernel.shift(a, shift, moduli)
+
+    def mod_switch(self, data, moduli, new_modulus):
+        """Scale-and-round an (L, N) residue stack from Q to ``new_modulus``.
+
+        The RNS base-conversion seam of the loop (paper Eq. 2): an exact
+        CRT lift followed by coefficient-wise scale-and-round. Returns a
+        plain int64 vector (the target modulus is word-sized everywhere
+        this is used: the LWE modulus q' or the plaintext modulus t).
+        """
+        from repro.fhe import rns
+
+        q = rns.rns_modulus(moduli)
+        coeffs = rns.from_rns(data, moduli)
+        out = np.empty(data.shape[1], dtype=np.int64)
+        for j, c in enumerate(coeffs):
+            out[j] = ((c * new_modulus + q // 2) // q) % new_modulus
+        return out
+
+    # -- LWE tier ----------------------------------------------------------
+
+    def sample_extract(self, ct, indices=None):
+        """Algorithm 1: RLWE coefficients -> independent LWE ciphertexts."""
+        from repro.fhe import lwe
+
+        return lwe.sample_extract_impl(ct, indices)
+
+    def lwe_keyswitch(self, batch, ksk):
+        """LWE dimension switch N -> n with gadget decomposition."""
+        from repro.fhe import lwe
+
+        return lwe.keyswitch_impl(batch, ksk)
+
+    def lwe_rescale(self, batch, new_modulus):
+        """Scale-and-round a batch of LWE ciphertexts to ``new_modulus``."""
+        from repro.fhe import lwe
+
+        return lwe.lwe_mod_switch_impl(batch, new_modulus)
+
+    # -- composite tier ----------------------------------------------------
+
+    def matvec(self, ctx, ct, diagonals, rotation_keys, baby_steps, plan=None):
+        """BSGS Halevi-Shoup plaintext-matrix x ciphertext-vector product."""
+        from repro.fhe import packing
+
+        return packing.hypercube_matvec_impl(
+            ctx, ct, diagonals, rotation_keys, baby_steps, plan=plan
+        )
+
+    def fbs(self, ctx, ct, lut, rlk, cost=None, plan=None):
+        """Functional bootstrapping: evaluate a LUT polynomial on all slots."""
+        from repro.fhe import fbs
+
+        return fbs.fbs_evaluate_impl(ctx, ct, lut, rlk, cost=cost, plan=plan)
+
+    def s2c(self, ctx, ct, key, plan=None):
+        """Slot-to-coefficient transform."""
+        from repro.fhe import s2c
+
+        return s2c.slot_to_coeff_impl(ctx, ct, key, plan=plan)
+
+    # -- instrumentation hooks ---------------------------------------------
+
+    def record(self, op: str, k: int = 1) -> None:
+        """Note ``k`` occurrences of primitive ``op`` (no-op here)."""
+
+    def phase(self, name: str):
+        """Label subsequent events with ``name`` (no-op context here)."""
+        return contextlib.nullcontext()
+
+
+class BatchedBackend(Backend):
+    """Residue-stacked execution engine (the default hot path)."""
+
+    name = "batched"
+    kernel = _BatchedKernel
+
+
+class SerialBackend(Backend):
+    """Frozen per-prime reference loops (equivalence + speedup baseline)."""
+
+    name = "serial"
+    kernel = _SerialKernel
+
+
+class CountingBackend(Backend):
+    """Execute through ``inner`` while recording per-phase op counts.
+
+    Counts two kinds of events into ``phase -> {op: count}`` records:
+
+    * RNS-tier work, derived from the dispatched array shapes in the same
+      units as the analytical trace model (:mod:`repro.core.trace`):
+      ``ntt`` (limb transforms), ``mod_mul`` / ``mod_add`` (elements),
+      ``automorph`` / ``shift`` (limb permutations), ``rnsconv``
+      (mod-switch elements).
+    * primitive events recorded by the dispatch sites: ``pmult``,
+      ``smult``, ``hadd``, ``add_plain``, ``cmult``, ``rotation``,
+      ``keyswitch``, ``extract``, ``lwe_keyswitch``, ``lwe_mod_switch``,
+      ``mod_switch``, ``matvec``, ``pack``, ``fbs``, ``s2c``, ...
+
+    The phase label is thread-local (each worker of a chunked-tile
+    fan-out runs its five-step chain — and therefore opens its phases —
+    in its own thread); the counter store is lock-protected, so one
+    recorder may be shared across the fan-out. Use
+    :func:`repro.core.trace.executed_trace` to view the records as a
+    :class:`~repro.core.trace.WorkloadTrace` for the accel scheduler.
+    """
+
+    name = "counting"
+
+    def __init__(self, inner: "Backend | str | None" = None):
+        self.inner = get_backend(inner) if inner is not None else default_backend()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.phase_ops: dict[str, dict[str, int]] = {}
+
+    @property
+    def rns_name(self) -> str:
+        return self.inner.rns_name
+
+    # -- recording ----------------------------------------------------------
+
+    def current_phase(self) -> str:
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else "other"
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append(name)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def record(self, op: str, k: int = 1) -> None:
+        phase = self.current_phase()
+        with self._lock:
+            ops = self.phase_ops.setdefault(phase, {})
+            ops[op] = ops.get(op, 0) + k
+
+    def _bulk(self, **ops: int) -> None:
+        phase = self.current_phase()
+        with self._lock:
+            store = self.phase_ops.setdefault(phase, {})
+            for op, k in ops.items():
+                store[op] = store.get(op, 0) + k
+
+    # -- views --------------------------------------------------------------
+
+    def ops_by_phase(self) -> dict[str, dict[str, int]]:
+        """Snapshot of the per-phase records (phase -> {op: count})."""
+        with self._lock:
+            return {ph: dict(ops) for ph, ops in self.phase_ops.items()}
+
+    def totals(self) -> dict[str, int]:
+        """Op counts summed across phases."""
+        out: dict[str, int] = {}
+        for ops in self.ops_by_phase().values():
+            for op, k in ops.items():
+                out[op] = out.get(op, 0) + k
+        return dict(sorted(out.items()))
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot: per-phase records plus totals."""
+        return {
+            "backend": self.inner.name,
+            "phase_ops": {
+                ph: dict(sorted(ops.items()))
+                for ph, ops in sorted(self.ops_by_phase().items())
+            },
+            "ops": self.totals(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.phase_ops.clear()
+
+    # -- RNS tier (count, then delegate) ------------------------------------
+
+    def add(self, a, b, moduli):
+        self._bulk(mod_add=a.size)
+        return self.inner.add(a, b, moduli)
+
+    def sub(self, a, b, moduli):
+        self._bulk(mod_add=a.size)
+        return self.inner.sub(a, b, moduli)
+
+    def neg(self, a, moduli):
+        self._bulk(mod_add=a.size)
+        return self.inner.neg(a, moduli)
+
+    def mul(self, a, b, moduli):
+        # Two forward transforms + one inverse, plus the pointwise product.
+        self._bulk(ntt=3 * len(moduli), mod_mul=a.size)
+        return self.inner.mul(a, b, moduli)
+
+    def ntt(self, a, moduli):
+        self._bulk(ntt=len(moduli))
+        return self.inner.ntt(a, moduli)
+
+    def mul_ntt(self, a, fb, moduli):
+        # The plan-cached operand skips its forward transform.
+        self._bulk(ntt=2 * len(moduli), mod_mul=a.size)
+        return self.inner.mul_ntt(a, fb, moduli)
+
+    def scalar_mul(self, a, value, moduli):
+        self._bulk(mod_mul=a.size)
+        return self.inner.scalar_mul(a, value, moduli)
+
+    def inv_scalar(self, a, value, moduli):
+        self._bulk(mod_mul=a.size)
+        return self.inner.inv_scalar(a, value, moduli)
+
+    def automorphism(self, a, k, moduli):
+        self._bulk(automorph=len(moduli))
+        return self.inner.automorphism(a, k, moduli)
+
+    def shift(self, a, shift, moduli):
+        self._bulk(shift=len(moduli))
+        return self.inner.shift(a, shift, moduli)
+
+    def mod_switch(self, data, moduli, new_modulus):
+        self._bulk(rnsconv=data.size)
+        return self.inner.mod_switch(data, moduli, new_modulus)
+
+    # -- LWE tier ------------------------------------------------------------
+
+    def sample_extract(self, ct, indices=None):
+        out = self.inner.sample_extract(ct, indices)
+        self.record("extract", out.count)
+        return out
+
+    def lwe_keyswitch(self, batch, ksk):
+        self.record("lwe_keyswitch", batch.count)
+        return self.inner.lwe_keyswitch(batch, ksk)
+
+    def lwe_rescale(self, batch, new_modulus):
+        self.record("lwe_mod_switch", batch.count)
+        return self.inner.lwe_rescale(batch, new_modulus)
+
+    # -- composite tier ------------------------------------------------------
+
+    def matvec(self, ctx, ct, diagonals, rotation_keys, baby_steps, plan=None):
+        self.record("matvec")
+        return self.inner.matvec(
+            ctx, ct, diagonals, rotation_keys, baby_steps, plan=plan
+        )
+
+    def fbs(self, ctx, ct, lut, rlk, cost=None, plan=None):
+        self.record("fbs")
+        return self.inner.fbs(ctx, ct, lut, rlk, cost=cost, plan=plan)
+
+    def s2c(self, ctx, ct, key, plan=None):
+        self.record("s2c")
+        return self.inner.s2c(ctx, ct, key, plan=plan)
+
+
+#: Singleton executing backends (stateless; counting backends are per-use).
+BATCHED = BatchedBackend()
+SERIAL = SerialBackend()
+
+_NAMED: dict[str, Backend] = {"batched": BATCHED, "serial": SERIAL}
+
+_ACTIVE: contextvars.ContextVar[Backend | None] = contextvars.ContextVar(
+    "repro_fhe_backend", default=None
+)
+
+_DEFAULT: Backend | None = None
+
+
+def get_backend(backend: "Backend | str") -> Backend:
+    """Resolve a backend instance or name (``batched`` | ``serial``)."""
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        return _NAMED[backend]
+    except KeyError:
+        raise ParameterError(
+            f"unknown backend {backend!r}; options: {sorted(_NAMED)}"
+        ) from None
+
+
+def default_backend() -> Backend:
+    """The process-wide default, honoring ``REPRO_BACKEND`` once at first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = get_backend(os.environ.get("REPRO_BACKEND", "batched"))
+    return _DEFAULT
+
+
+def current_backend() -> Backend:
+    """The backend active in the *current context* (thread/task-local)."""
+    active = _ACTIVE.get()
+    return active if active is not None else default_backend()
+
+
+@contextlib.contextmanager
+def use_backend(backend: "Backend | str"):
+    """Run the enclosed block with ``backend`` as the active dispatch target.
+
+    Context-local: other threads (and other contexts on this thread) are
+    unaffected, which is what makes concurrent sessions on different
+    backends safe. Yields the resolved backend instance.
+    """
+    resolved = get_backend(backend)
+    token = _ACTIVE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.reset(token)

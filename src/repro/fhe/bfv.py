@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import NoiseBudgetExhausted, ParameterError
 from repro.fhe import slots as slotlib
+from repro.fhe.backend import current_backend
 from repro.fhe.keys import (
     KeySwitchKey,
     PublicKey,
@@ -165,6 +166,7 @@ class BfvContext:
 
     def encrypt(self, pt: Plaintext, pk: PublicKey) -> BfvCiphertext:
         p = self.params
+        current_backend().record("encrypt")
         u = RnsPoly.from_int_coeffs(self.sampler.ternary(p.n), p.moduli)
         e0 = RnsPoly.from_int_coeffs(self.sampler.gaussian(p.n), p.moduli)
         e1 = RnsPoly.from_int_coeffs(self.sampler.gaussian(p.n), p.moduli)
@@ -198,6 +200,7 @@ class BfvContext:
 
     def decrypt(self, ct: BfvCiphertext, sk: SecretKey) -> Plaintext:
         p = self.params
+        current_backend().record("decrypt")
         phase = ct.c0 + ct.c1 * sk.poly
         coeffs = phase.to_int_coeffs(centered=False)
         q = p.q
@@ -209,16 +212,19 @@ class BfvContext:
     # ----- homomorphic operations ------------------------------------------
 
     def add(self, a: BfvCiphertext, b: BfvCiphertext) -> BfvCiphertext:
+        current_backend().record("hadd")
         return BfvCiphertext(
             a.c0 + b.c0, a.c1 + b.c1, a.params, max(a.noise_bits, b.noise_bits) + 1
         )
 
     def sub(self, a: BfvCiphertext, b: BfvCiphertext) -> BfvCiphertext:
+        current_backend().record("hadd")
         return BfvCiphertext(
             a.c0 - b.c0, a.c1 - b.c1, a.params, max(a.noise_bits, b.noise_bits) + 1
         )
 
     def add_plain(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
+        current_backend().record("add_plain")
         return BfvCiphertext(
             ct.c0 + pt.add_operand(), ct.c1, ct.params, ct.noise_bits
         )
@@ -229,6 +235,7 @@ class BfvContext:
         scalar = int(scalar) % t
         if scalar > t // 2:
             scalar -= t
+        current_backend().record("smult")
         return BfvCiphertext(
             ct.c0.scalar_mul(scalar),
             ct.c1.scalar_mul(scalar),
@@ -244,6 +251,7 @@ class BfvContext:
         across all requests; the result is bit-identical to the plain
         ``RnsPoly`` product.
         """
+        current_backend().record("pmult")
         w = pt.pmult_operand()
         return BfvCiphertext(
             ct.c0.mul_ntt(w), ct.c1.mul_ntt(w), ct.params, ct.noise_bits + self._log_nt
@@ -259,6 +267,7 @@ class BfvContext:
         term back to degree one with the relinearization key.
         """
         p = a.params
+        current_backend().record("cmult")
         a0 = a.c0.to_int_coeffs()
         a1 = a.c1.to_int_coeffs()
         b0 = b.c0.to_int_coeffs()
@@ -292,6 +301,7 @@ class BfvContext:
     ) -> BfvCiphertext:
         """sigma_k on the plaintext; keyswitch back to the original key."""
         k = k % (2 * ct.params.n)
+        current_backend().record("rotation")
         c0k = ct.c0.automorphism(k)
         c1k = ct.c1.automorphism(k)
         d0, d1 = apply_keyswitch(c1k, gk)

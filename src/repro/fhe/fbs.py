@@ -28,6 +28,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.fhe.backend import current_backend
 from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
 from repro.fhe.keys import KeySwitchKey
 from repro.fhe.ntt import cyclic_ntt
@@ -262,7 +263,8 @@ def fbs_evaluate(
 ) -> BfvCiphertext:
     """Algorithm 2: evaluate the LUT polynomial on every slot of ``ct``.
 
-    Baby steps: inner sums of scalar-multiplied ciphertext powers (SMult +
+    Dispatches through the active backend's :meth:`Backend.fbs`. Baby
+    steps: inner sums of scalar-multiplied ciphertext powers (SMult +
     HAdd). Giant steps: one CMult per group with the precomputed power
     ct^(bs*g). Returns a ciphertext whose slot i holds LUT(slot_i(ct)).
 
@@ -270,6 +272,27 @@ def fbs_evaluate(
     without one, the schedule is derived here. Either way the homomorphic
     op sequence is identical, so plan-driven evaluation is bit-identical.
     """
+    be = current_backend()
+    with be.phase("fbs"):
+        return be.fbs(ctx, ct, lut, rlk, cost=cost, plan=plan)
+
+
+def fbs_evaluate_impl(
+    ctx: BfvContext,
+    ct: BfvCiphertext,
+    lut: FbsLut,
+    rlk: KeySwitchKey,
+    cost: FbsCost | None = None,
+    plan: FbsPlan | None = None,
+) -> BfvCiphertext:
+    """Default :meth:`Backend.fbs` implementation (BSGS, Algorithm 2).
+
+    CMult work — the power ladder and giant-step combinations — runs under
+    the ``fbs_giant`` phase so a counting backend attributes it the same
+    way the analytical trace model does; the scalar baby-step sums stay in
+    the enclosing ``fbs`` phase.
+    """
+    be = current_backend()
     t = ctx.params.t
     if lut.t != t:
         raise ParameterError("LUT modulus does not match context")
@@ -287,7 +310,8 @@ def fbs_evaluate(
         got = powers.get(e)
         if got is None:
             half = e // 2
-            got = ctx.cmult(power(half), power(e - half), rlk)
+            with be.phase("fbs_giant"):
+                got = ctx.cmult(power(half), power(e - half), rlk)
             if cost:
                 cost.cmult += 1
             powers[e] = got
@@ -304,7 +328,8 @@ def fbs_evaluate(
         got = giants.get(g)
         if got is None:
             half = g // 2
-            got = ctx.cmult(giant(half), giant(g - half), rlk)
+            with be.phase("fbs_giant"):
+                got = ctx.cmult(giant(half), giant(g - half), rlk)
             if cost:
                 cost.cmult += 1
             giants[g] = got
@@ -326,7 +351,8 @@ def fbs_evaluate(
         if inner is None:
             continue
         if g:
-            inner = ctx.cmult(inner, giant(g), rlk)
+            with be.phase("fbs_giant"):
+                inner = ctx.cmult(inner, giant(g), rlk)
             if cost:
                 cost.cmult += 1
         result = inner if result is None else ctx.add(result, inner)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.fhe.backend import current_backend
 from repro.fhe.params import FheParams
 from repro.fhe.poly import RnsPoly
 from repro.fhe.rns import from_rns
@@ -122,6 +123,7 @@ def apply_keyswitch(
 
     Returns the (delta_c0, delta_c1) pair to be added to the ciphertext.
     """
+    current_backend().record("keyswitch")
     digits = gadget_decompose(component, ksk.base_bits, ksk.num_digits)
     out0 = RnsPoly.zeros(component.n, component.moduli)
     out1 = RnsPoly.zeros(component.n, component.moduli)

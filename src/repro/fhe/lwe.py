@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.fhe.backend import current_backend
 from repro.fhe.bfv import BfvCiphertext
 from repro.utils.sampling import Sampler
 
@@ -75,18 +76,29 @@ def rlwe_mod_switch(ct: BfvCiphertext, new_modulus: int) -> SmallRlwe:
 
     Eq. 2 of the paper with t replaced by the intermediate modulus q'.
     """
-    return SmallRlwe(
-        ct.c0.mod_switch(new_modulus),
-        ct.c1.mod_switch(new_modulus),
-        new_modulus,
-    )
+    be = current_backend()
+    with be.phase("se"):
+        be.record("mod_switch")
+        return SmallRlwe(
+            ct.c0.mod_switch(new_modulus),
+            ct.c1.mod_switch(new_modulus),
+            new_modulus,
+        )
 
 
 def sample_extract(ct: SmallRlwe, indices: np.ndarray | None = None) -> LweBatch:
     """Algorithm 1: extract LWE ciphertexts from RLWE coefficients.
 
-    ``indices`` selects which coefficients to extract (default: all N).
+    Dispatches through the active backend; ``indices`` selects which
+    coefficients to extract (default: all N).
     """
+    be = current_backend()
+    with be.phase("se"):
+        return be.sample_extract(ct, indices)
+
+
+def sample_extract_impl(ct: SmallRlwe, indices: np.ndarray | None = None) -> LweBatch:
+    """Default :meth:`Backend.sample_extract` implementation (Algorithm 1)."""
     n = ct.n
     q = ct.modulus
     if indices is None:
@@ -147,6 +159,13 @@ def keyswitch_keygen(
 
 def keyswitch(batch: LweBatch, ksk: LweKeySwitchKey) -> LweBatch:
     """Switch a batch of LWE ciphertexts to the small secret dimension."""
+    be = current_backend()
+    with be.phase("se"):
+        return be.lwe_keyswitch(batch, ksk)
+
+
+def keyswitch_impl(batch: LweBatch, ksk: LweKeySwitchKey) -> LweBatch:
+    """Default :meth:`Backend.lwe_keyswitch` implementation (gadget N -> n)."""
     if batch.modulus != ksk.modulus:
         raise ParameterError("keyswitch key modulus mismatch")
     q = batch.modulus
@@ -179,6 +198,13 @@ def keyswitch(batch: LweBatch, ksk: LweKeySwitchKey) -> LweBatch:
 
 def lwe_mod_switch(batch: LweBatch, new_modulus: int) -> LweBatch:
     """Scale-and-round a batch of LWE ciphertexts to ``new_modulus``."""
+    be = current_backend()
+    with be.phase("se"):
+        return be.lwe_rescale(batch, new_modulus)
+
+
+def lwe_mod_switch_impl(batch: LweBatch, new_modulus: int) -> LweBatch:
+    """Default :meth:`Backend.lwe_rescale` implementation."""
     q = batch.modulus
     a = ((batch.a.astype(np.int64) * new_modulus + q // 2) // q) % new_modulus
     b = ((batch.b.astype(np.int64) * new_modulus + q // 2) // q) % new_modulus

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.fhe.backend import current_backend
 from repro.fhe.bfv import BfvCiphertext, BfvContext, Plaintext
 from repro.fhe.keys import KeySwitchKey, PublicKey, SecretKey
 from repro.fhe.lwe import LweBatch
@@ -158,12 +159,27 @@ def hypercube_matvec(
 ) -> BfvCiphertext:
     """BSGS Halevi-Shoup product: slots(out)_i = sum_d diag[d][i] * v_{i+d}.
 
+    Dispatches through the active backend's :meth:`Backend.matvec`.
     ``diagonals`` has shape (M, N) with M = N/2 (row length); index d of the
     first axis is the rotation amount. Zero diagonals are skipped. A
     precomputed :class:`MatvecPlan` replaces the diagonal scan and per-call
     plaintext encoding with the compile-time artifacts; the homomorphic op
     sequence — and therefore the result — is identical either way.
     """
+    return current_backend().matvec(
+        ctx, ct, diagonals, rotation_keys, baby_steps, plan=plan
+    )
+
+
+def hypercube_matvec_impl(
+    ctx: BfvContext,
+    ct: BfvCiphertext,
+    diagonals: np.ndarray | None,
+    rotation_keys: dict[int, KeySwitchKey],
+    baby_steps: int,
+    plan: MatvecPlan | None = None,
+) -> BfvCiphertext:
+    """Default :meth:`Backend.matvec` implementation (BSGS Halevi-Shoup)."""
     params = ctx.params
     if plan is None:
         plan = MatvecPlan.build(diagonals, params, baby_steps)
@@ -203,20 +219,27 @@ def pack_lwe(
         raise ParameterError("more LWE ciphertexts than slots")
     if batch.dim > params.n // 2:
         raise ParameterError("LWE dimension exceeds packing row capacity")
-    half = params.n // 2
-    a = centered_array(batch.a, params.t)
-    a_top = a[: min(batch.count, half)]
-    a_bot = a[half:] if batch.count > half else np.zeros((0, batch.dim), dtype=np.int64)
-    diagonals = _hypercube_diagonals(a_top, a_bot, half)
-    out = hypercube_matvec(
-        ctx,
-        packing_key.encrypted_secret,
-        diagonals,
-        packing_key.rotation_keys,
-        packing_key.baby_steps,
-    )
-    b_slots = np.zeros(params.n, dtype=np.int64)
-    b_slots[: min(batch.count, half)] = batch.b[: min(batch.count, half)]
-    if batch.count > half:
-        b_slots[half : half + batch.count - half] = batch.b[half:]
-    return ctx.add_plain(out, Plaintext.from_slots(b_slots, params))
+    be = current_backend()
+    with be.phase("packing"):
+        be.record("pack")
+        half = params.n // 2
+        a = centered_array(batch.a, params.t)
+        a_top = a[: min(batch.count, half)]
+        a_bot = (
+            a[half:]
+            if batch.count > half
+            else np.zeros((0, batch.dim), dtype=np.int64)
+        )
+        diagonals = _hypercube_diagonals(a_top, a_bot, half)
+        out = hypercube_matvec(
+            ctx,
+            packing_key.encrypted_secret,
+            diagonals,
+            packing_key.rotation_keys,
+            packing_key.baby_steps,
+        )
+        b_slots = np.zeros(params.n, dtype=np.int64)
+        b_slots[: min(batch.count, half)] = batch.b[: min(batch.count, half)]
+        if batch.count > half:
+            b_slots[half : half + batch.count - half] = batch.b[half:]
+        return ctx.add_plain(out, Plaintext.from_slots(b_slots, params))

@@ -6,242 +6,60 @@ kept in the coefficient domain; multiplications run a negacyclic NTT
 internally. Galois automorphisms x -> x^k are implemented as signed
 index permutations of the coefficient vector.
 
-Two interchangeable arithmetic backends exist:
+Every op dispatches through the context-active :class:`repro.fhe.backend.
+Backend` (see that module for the batched/serial/counting backends and the
+selection rules). The historical entry points survive as thin shims:
 
-* **batched** (default) — every op treats the (L, N) residue matrix as one
-  stacked array, broadcasting an (L, 1) moduli column; multiplications go
-  through :func:`repro.fhe.ntt.ntt_forward_rns`, so one butterfly pass per
-  stage covers all limbs. This is the execution-engine hot path.
-* **serial** — the original per-prime ``for i, p in enumerate(moduli)``
-  loops, kept verbatim as the reference semantics. The equivalence test
-  suite pins the batched path bit-identical to it, and the ``repro bench``
-  harness measures the speedup between the two.
+* :func:`use_serial_rns` — context manager selecting the per-prime
+  reference loops, now backed by :func:`repro.fhe.backend.use_backend`
+  (context-local, so concurrent threads no longer interfere). Prefer
+  ``use_backend("serial")`` in new code.
+* :func:`rns_backend` — reports the *current context's* RNS kernel name.
 
-Switch with :func:`use_serial_rns` (a context manager); both backends honor
-the same dtype-overflow contract (limb primes < 2**31, so products and
-butterfly sums stay inside int64).
+Both kernels honor the same dtype-overflow contract (limb primes < 2**31,
+so products and butterfly sums stay inside int64) and are bit-identical.
 """
 
 from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.fhe import rns
-from repro.fhe.ntt import (
-    negacyclic_mul_exact,
-    ntt_forward,
-    ntt_forward_rns,
-    ntt_inverse,
-    ntt_inverse_rns,
+from repro.fhe.backend import (
+    automorphism_map,
+    current_backend,
+    use_backend,
 )
-from repro.utils.modmath import inv_mod
+from repro.fhe.ntt import negacyclic_mul_exact
 
-
-@lru_cache(maxsize=None)
-def automorphism_map(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Destination indices and signs for the map X -> X^k on degree-N rings.
-
-    Coefficient j of the input lands at index (j*k mod 2N); indices >= N wrap
-    negacyclically: X^(N+r) = -X^r. ``k`` must be odd so the map is a ring
-    automorphism.
-    """
-    if k % 2 == 0:
-        raise ParameterError(f"Galois element must be odd, got {k}")
-    j = np.arange(n, dtype=np.int64)
-    dest = (j * (k % (2 * n))) % (2 * n)
-    sign = np.where(dest >= n, -1, 1).astype(np.int64)
-    dest = np.where(dest >= n, dest - n, dest)
-    return dest, sign
-
-
-@lru_cache(maxsize=None)
-def _moduli_column(moduli: tuple[int, ...]) -> np.ndarray:
-    """(L, 1) int64 broadcast column for a modulus chain."""
-    col = np.array(moduli, dtype=np.int64)[:, None]
-    col.setflags(write=False)
-    return col
-
-
-class _BatchedOps:
-    """Residue-stacked arithmetic: one numpy pass covers every limb."""
-
-    @staticmethod
-    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        return (a + b) % _moduli_column(moduli)
-
-    @staticmethod
-    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        return (a - b) % _moduli_column(moduli)
-
-    @staticmethod
-    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        return -a % _moduli_column(moduli)
-
-    @staticmethod
-    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        mods = _moduli_column(moduli)
-        fa = ntt_forward_rns(a, moduli)
-        fb = ntt_forward_rns(b, moduli)
-        return ntt_inverse_rns(fa * fb % mods, moduli)
-
-    @staticmethod
-    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        return ntt_forward_rns(a, moduli)
-
-    @staticmethod
-    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        mods = _moduli_column(moduli)
-        fa = ntt_forward_rns(a, moduli)
-        return ntt_inverse_rns(fa * fb % mods, moduli)
-
-    @staticmethod
-    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
-        mods = _moduli_column(moduli)
-        residues = np.array([value % p for p in moduli], dtype=np.int64)[:, None]
-        return a * residues % mods
-
-    @staticmethod
-    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
-        mods = _moduli_column(moduli)
-        invs = np.array([inv_mod(value, p) for p in moduli], dtype=np.int64)[:, None]
-        return a * invs % mods
-
-    @staticmethod
-    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
-        n = a.shape[1]
-        dest, sign = automorphism_map(n, k)
-        out = np.empty_like(a)
-        # |a * sign| < p < 2**31, so the signed product is int64-exact.
-        out[:, dest] = a * sign % _moduli_column(moduli)
-        return out
-
-    @staticmethod
-    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
-        n = a.shape[1]
-        mods = _moduli_column(moduli)
-        rolled = np.roll(a, shift % n, axis=1)
-        if shift % n:
-            rolled[:, : shift % n] = -rolled[:, : shift % n] % mods
-        if shift >= n:
-            rolled = -rolled % mods
-        return rolled
-
-
-class _SerialOps:
-    """The pre-batching per-prime loops, frozen as reference semantics."""
-
-    @staticmethod
-    def add(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        data = a + b
-        for i, p in enumerate(moduli):
-            data[i] %= p
-        return data
-
-    @staticmethod
-    def sub(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        data = a - b
-        for i, p in enumerate(moduli):
-            data[i] %= p
-        return data
-
-    @staticmethod
-    def neg(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        data = -a
-        for i, p in enumerate(moduli):
-            data[i] %= p
-        return data
-
-    @staticmethod
-    def mul(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            fa = ntt_forward(a[i].copy(), p)
-            fb = ntt_forward(b[i].copy(), p)
-            out[i] = ntt_inverse(fa * fb % p, p)
-        return out
-
-    @staticmethod
-    def ntt(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            out[i] = ntt_forward(a[i].copy(), p)
-        return out
-
-    @staticmethod
-    def mul_ntt(a: np.ndarray, fb: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            fa = ntt_forward(a[i].copy(), p)
-            out[i] = ntt_inverse(fa * fb[i] % p, p)
-        return out
-
-    @staticmethod
-    def scalar_mul(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            out[i] = a[i] * (value % p) % p
-        return out
-
-    @staticmethod
-    def inv_scalar(a: np.ndarray, value: int, moduli: tuple[int, ...]) -> np.ndarray:
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            out[i] = a[i] * inv_mod(value, p) % p
-        return out
-
-    @staticmethod
-    def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
-        n = a.shape[1]
-        dest, sign = automorphism_map(n, k)
-        out = np.zeros_like(a)
-        signed = a * sign  # safe: |value| < p < 2**31
-        for i, p in enumerate(moduli):
-            out[i][dest] = signed[i] % p  # k odd => dest is a permutation
-        return out
-
-    @staticmethod
-    def shift(a: np.ndarray, shift: int, moduli: tuple[int, ...]) -> np.ndarray:
-        n = a.shape[1]
-        out = np.empty_like(a)
-        for i, p in enumerate(moduli):
-            row = a[i]
-            rolled = np.roll(row, shift % n)
-            if shift % n:
-                rolled[: shift % n] = (-rolled[: shift % n]) % p
-            if shift >= n:
-                rolled = (-rolled) % p
-            out[i] = rolled
-        return out
-
-
-_OPS = _BatchedOps
+__all__ = [
+    "RnsPoly",
+    "automorphism_map",
+    "rns_backend",
+    "use_serial_rns",
+]
 
 
 @contextlib.contextmanager
 def use_serial_rns():
     """Run RnsPoly arithmetic through the per-prime reference loops.
 
-    Used by the equivalence tests and by ``repro bench`` to measure the
-    batched path's speedup over the pre-batching implementation.
+    Deprecated shim over ``use_backend("serial")`` — selection is now
+    context-local rather than a module-global flip, so other threads are
+    unaffected. Kept for the equivalence tests and ``repro bench``.
     """
-    global _OPS
-    prev = _OPS
-    _OPS = _SerialOps
-    try:
+    with use_backend("serial"):
         yield
-    finally:
-        _OPS = prev
 
 
 def rns_backend() -> str:
-    """Name of the active RnsPoly arithmetic backend."""
-    return "serial" if _OPS is _SerialOps else "batched"
+    """Name of the RNS arithmetic kernel active in the current context."""
+    return current_backend().rns_name
 
 
 @dataclass
@@ -295,22 +113,26 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check(other)
-        return RnsPoly(_OPS.add(self.data, other.data, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.add(self.data, other.data, self.moduli), self.moduli)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check(other)
-        return RnsPoly(_OPS.sub(self.data, other.data, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.sub(self.data, other.data, self.moduli), self.moduli)
 
     def __neg__(self) -> "RnsPoly":
-        return RnsPoly(_OPS.neg(self.data, self.moduli), self.moduli)
+        return RnsPoly(current_backend().neg(self.data, self.moduli), self.moduli)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
         """Negacyclic product via the (batched) NTT."""
         self._check(other)
-        return RnsPoly(_OPS.mul(self.data, other.data, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.mul(self.data, other.data, self.moduli), self.moduli)
 
     def scalar_mul(self, value: int) -> "RnsPoly":
-        return RnsPoly(_OPS.scalar_mul(self.data, value, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.scalar_mul(self.data, value, self.moduli), self.moduli)
 
     def ntt_form(self) -> np.ndarray:
         """Forward-NTT residues (L, N), for reuse across many products.
@@ -320,7 +142,7 @@ class RnsPoly:
         forward butterfly pass on every request. Both backends produce the
         identical array, so a cached form is valid under either.
         """
-        out = _OPS.ntt(self.data, self.moduli)
+        out = current_backend().ntt(self.data, self.moduli)
         out.setflags(write=False)
         return out
 
@@ -330,7 +152,8 @@ class RnsPoly:
         Bit-identical to ``self * other``: the same forward/pointwise/inverse
         pipeline, with the second forward transform amortized away.
         """
-        return RnsPoly(_OPS.mul_ntt(self.data, other_ntt, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.mul_ntt(self.data, other_ntt, self.moduli), self.moduli)
 
     def mul_exact_then_reduce(self, other: "RnsPoly") -> "RnsPoly":
         """Exact big-int negacyclic product, then reduction per limb.
@@ -347,12 +170,13 @@ class RnsPoly:
 
     def automorphism(self, k: int) -> "RnsPoly":
         """Apply the Galois map X -> X^k."""
-        return RnsPoly(_OPS.automorphism(self.data, k, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.automorphism(self.data, k, self.moduli), self.moduli)
 
     def negacyclic_shift(self, shift: int) -> "RnsPoly":
         """Multiply by X^shift (shift may be negative)."""
         shift %= 2 * self.n
-        return RnsPoly(_OPS.shift(self.data, shift, self.moduli), self.moduli)
+        return RnsPoly(current_backend().shift(self.data, shift, self.moduli), self.moduli)
 
     # --- conversions --------------------------------------------------------
 
@@ -368,16 +192,12 @@ class RnsPoly:
         Returns a plain int64 vector (the target modulus is word-sized in
         every use: the LWE modulus q' or the plaintext modulus t).
         """
-        q = self.modulus
-        coeffs = self.to_int_coeffs(centered=False)
-        out = np.empty(self.n, dtype=np.int64)
-        for j, c in enumerate(coeffs):
-            out[j] = ((c * new_modulus + q // 2) // q) % new_modulus
-        return out
+        return current_backend().mod_switch(self.data, self.moduli, new_modulus)
 
     def inv_scalar(self, value: int) -> "RnsPoly":
         """Multiply by value^-1 mod Q (per limb)."""
-        return RnsPoly(_OPS.inv_scalar(self.data, value, self.moduli), self.moduli)
+        be = current_backend()
+        return RnsPoly(be.inv_scalar(self.data, value, self.moduli), self.moduli)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RnsPoly):

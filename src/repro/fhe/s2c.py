@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.fhe import slots as slotlib
+from repro.fhe.backend import current_backend
 from repro.fhe.bfv import BfvCiphertext, BfvContext
 from repro.fhe.keys import KeySwitchKey, SecretKey
 from repro.fhe.packing import MatvecPlan, hypercube_matvec
@@ -124,10 +125,20 @@ def slot_to_coeff(
 ) -> BfvCiphertext:
     """Return a ciphertext whose *coefficients* equal ``ct``'s slot values.
 
-    With a precomputed :class:`S2CPlan` the two Halevi-Shoup passes reuse
+    Dispatches through the active backend's :meth:`Backend.s2c`. With a
+    precomputed :class:`S2CPlan` the two Halevi-Shoup passes reuse
     compile-time diagonal plaintexts; the op sequence is unchanged, so the
     result is bit-identical to the per-request path.
     """
+    be = current_backend()
+    with be.phase("s2c"):
+        return be.s2c(ctx, ct, key, plan=plan)
+
+
+def slot_to_coeff_impl(
+    ctx: BfvContext, ct: BfvCiphertext, key: S2CKey, plan: S2CPlan | None = None
+) -> BfvCiphertext:
+    """Default :meth:`Backend.s2c` implementation (two BSGS passes)."""
     params = ctx.params
     n, t = params.n, params.t
     half = n // 2

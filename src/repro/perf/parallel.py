@@ -17,6 +17,7 @@ backend needs picklable functions (module-level, not closures).
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -71,14 +72,25 @@ class ParallelMap:
 
         A single-item (or empty) input short-circuits to the serial path so
         callers never pay pool startup for degenerate fan-outs.
+
+        Thread mode propagates the caller's :mod:`contextvars` context into
+        each worker invocation (one fresh copy per item — a Context object
+        cannot be entered concurrently), so context-local state such as the
+        active :func:`repro.fhe.backend.use_backend` selection follows the
+        fan-out. Process mode cannot (contexts are not picklable); code
+        needing a specific backend across processes must install it inside
+        the mapped function, as :class:`AthenaPipeline`'s methods do.
         """
         items = list(items)
         mode = self.config.mode
         if mode == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
         workers = min(self.config.effective_workers, len(items))
-        pool_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
+        if mode == "thread":
+            tasks = [(contextvars.copy_context(), item) for item in items]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(partial(_ctx_apply, fn), tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 
     def starmap(self, fn: Callable[..., R], items: Iterable[Sequence]) -> list[R]:
@@ -88,3 +100,9 @@ class ParallelMap:
 def _star_apply(fn: Callable[..., R], args: Sequence) -> R:
     """Module-level splat helper so starmap stays picklable for process pools."""
     return fn(*args)
+
+
+def _ctx_apply(fn: Callable[[T], R], task: tuple) -> R:
+    """Run one mapped item inside the caller's copied contextvars context."""
+    ctx, item = task
+    return ctx.run(fn, item)

@@ -88,10 +88,40 @@ class PerfRecorder:
         }
 
     def merge(self, other: "PerfRecorder") -> None:
-        """Fold another recorder's counters into this one."""
+        """Fold another recorder's counters into this one.
+
+        ``other`` is snapshotted under its own lock first (it may still be
+        receiving counts from worker threads), then folded in under ours —
+        the two locks are never held together, so concurrent cross-merges
+        cannot deadlock.
+        """
+        if other is self:
+            return
+        with other._lock:
+            phase_s = dict(other.phase_s)
+            ops = dict(other.ops)
+            wall = other._wall
         with self._lock:
-            for k, v in other.phase_s.items():
+            for k, v in phase_s.items():
                 self.phase_s[k] = self.phase_s.get(k, 0.0) + v
-            for k, v in other.ops.items():
+            for k, v in ops.items():
                 self.ops[k] = self.ops.get(k, 0) + v
-            self._wall += other._wall
+            self._wall += wall
+
+    # Recorders cross process-executor boundaries (a worker returns its
+    # private recorder for the parent to merge); the lock itself cannot be
+    # pickled, so it is dropped in transit and recreated on arrival.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "phase_s": dict(self.phase_s),
+                "ops": dict(self.ops),
+                "_wall": self._wall,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.phase_s = state["phase_s"]
+        self.ops = state["ops"]
+        self._wall = state["_wall"]
+        self._wall_started = None
+        self._lock = threading.Lock()

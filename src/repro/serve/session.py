@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.core.framework import AthenaPipeline, LoopCost
 from repro.core.plan import CompiledProgram, compile_program
 from repro.core.program import AthenaProgram, lower
+from repro.fhe.backend import Backend, get_backend, use_backend
 from repro.fhe.params import TEST_LOOP, FheParams
 from repro.perf import ParallelMap, PerfRecorder
 
@@ -32,6 +34,13 @@ class InferenceSession:
     :meth:`AthenaPipeline.run_program` on the same pipeline state: the plan
     only moves operand derivation to compile time, never changing the
     homomorphic op sequence.
+
+    ``backend`` pins this session's op dispatch (a
+    :class:`repro.fhe.backend.Backend` instance or name). Selection is
+    context-local, so concurrent sessions on *different* backends never
+    interfere — the thread-safety claim above holds per session, not per
+    process. A :class:`~repro.fhe.backend.CountingBackend` here turns every
+    request into an executed-op trace (see ``session.backend.summary()``).
     """
 
     def __init__(
@@ -43,6 +52,7 @@ class InferenceSession:
         pmap: ParallelMap | None = None,
         plan: CompiledProgram | None = None,
         cache=None,
+        backend: Backend | str | None = None,
     ):
         if isinstance(model, AthenaProgram):
             program = model
@@ -52,21 +62,26 @@ class InferenceSession:
             program = lower(model, params)
         self.program = program
         self.params = params
-        self.pipeline = AthenaPipeline(params, seed=seed)
+        self.backend = get_backend(backend) if backend is not None else None
+        self.pipeline = AthenaPipeline(params, seed=seed, backend=self.backend)
         self.pmap = pmap
         self._lock = threading.Lock()
         start = time.perf_counter()
-        if plan is not None:
-            plan.bind(program, params)
-        elif cache is not None:
-            plan = cache.get(program, params, chunk)
-        else:
-            plan = compile_program(program, params, chunk=chunk)
+        with self._dispatch():
+            if plan is not None:
+                plan.bind(program, params)
+            elif cache is not None:
+                plan = cache.get(program, params, chunk)
+            else:
+                plan = compile_program(program, params, chunk=chunk)
         self.plan = plan
         self.compile_s = time.perf_counter() - start
         self.requests = 0
         self.run_s = 0.0
         self.last_perf: PerfRecorder | None = None
+
+    def _dispatch(self):
+        return use_backend(self.backend) if self.backend is not None else nullcontext()
 
     def run(
         self,
@@ -95,6 +110,7 @@ class InferenceSession:
         return {
             "model": self.program.name,
             "model_hash": self.plan.model_hash,
+            "backend": self.backend.name if self.backend is not None else None,
             "compile_s": round(self.compile_s, 6),
             "requests": self.requests,
             "run_s": round(self.run_s, 6),

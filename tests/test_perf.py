@@ -65,6 +65,28 @@ class TestPerfRecorder:
         a.reset()
         assert a.phase_s == {} and a.ops == {} and a.wall_s == 0.0
 
+    def test_merge_with_self_is_a_noop(self):
+        # Regression: self-merge must not deadlock on the non-reentrant
+        # lock, and must not double the counters.
+        a = PerfRecorder()
+        a.count("pack", 2)
+        a.merge(a)
+        assert a.ops == {"pack": 2}
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        # Recorders cross process-executor boundaries; the lock is dropped
+        # in transit and must come back usable.
+        import pickle
+
+        a = PerfRecorder()
+        a.add_time("fbs", 1.0)
+        a.count("pack", 3)
+        b = pickle.loads(pickle.dumps(a))
+        assert b.phase_s == {"fbs": 1.0} and b.ops == {"pack": 3}
+        assert b.wall_s == pytest.approx(1.0)
+        b.count("pack")  # fresh lock, still functional
+        assert b.ops["pack"] == 4
+
 
 class TestParallelMap:
     def test_exec_config_from_env(self):
