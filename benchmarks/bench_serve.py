@@ -1,0 +1,54 @@
+"""Serving-stack benchmark: the ``repro loadgen`` harness under pytest.
+
+Thin wrapper over :mod:`repro.serve.loadgen` (the importable implementation
+behind the ``repro loadgen`` CLI command) so the serving benchmark runs with
+the rest of the ``benchmarks/`` suite and leaves a ``BENCH_serve.json``
+artifact next to the other regenerated outputs. Pins the acceptance gates:
+the multi-worker configuration must sustain strictly higher requests/sec
+than the single-worker one on the identical workload (the transport window
+of one request overlapping another's compute), and the warm phase — every
+configuration after the first, sharing the first's plan cache — must show a
+positive plan-cache hit rate.
+"""
+
+import json
+
+from repro.serve.loadgen import SERVE_SCHEMA, run_loadgen
+
+
+def test_bench_serve(once, tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    records = once(
+        run_loadgen,
+        out=str(out),
+        model="mnist_cnn",
+        tenants=2,
+        requests=4,
+        worker_counts=(1, 2),
+        mode="thread",
+        # Wider-than-default window: at TEST_LOOP's tiny ring the kernels
+        # are too small to release the GIL for long, so thread contention
+        # claws back part of the overlap win; 3s keeps the gate's margin
+        # comfortably away from scheduler noise on a loaded CI runner.
+        transport_s=3.0,
+    )
+    print("\n" + json.dumps(records, indent=2))
+    assert [r["phase"] for r in records] == ["cold", "warm"]
+    for record in records:
+        assert all(key in record for key in SERVE_SCHEMA)
+        assert record["model"] == "mnist_cnn"
+        assert record["tenants"] >= 2
+        assert record["requests_per_s"] > 0
+        assert 0 < record["latency_p50_s"] <= record["latency_p99_s"]
+        assert sum(record["per_tenant"].values()) == record["requests"]
+    single, multi = records
+    assert single["workers"] == 1 and multi["workers"] == 2
+    # Multi-worker wins on the identical workload: while one slot holds a
+    # request's ciphertext-transport window the other slot computes.
+    assert multi["requests_per_s"] > single["requests_per_s"]
+    # First configuration compiles (per tenant: one miss, then hits for the
+    # other tenants sharing the fingerprint); later configurations run warm
+    # out of the shared cache.
+    assert single["plan_cache"]["misses"] >= 1
+    assert multi["plan_cache"]["misses"] == 0
+    assert multi["plan_cache"]["hit_rate"] > 0

@@ -24,6 +24,7 @@ __version__ = "1.1.0"
 _EXPORTS = {
     "AthenaPipeline": ("repro.core.framework", "AthenaPipeline"),
     "AthenaProgram": ("repro.core.program", "AthenaProgram"),
+    "AthenaService": ("repro.serve", "AthenaService"),
     "CompiledProgram": ("repro.core.plan", "CompiledProgram"),
     "ExecConfig": ("repro.perf", "ExecConfig"),
     "FbsLut": ("repro.fhe.fbs", "FbsLut"),
@@ -31,6 +32,10 @@ _EXPORTS = {
     "ParallelMap": ("repro.perf", "ParallelMap"),
     "PerfRecorder": ("repro.perf", "PerfRecorder"),
     "PlanCache": ("repro.serve", "PlanCache"),
+    "SessionCore": ("repro.serve", "SessionCore"),
+    "SessionRuntime": ("repro.serve", "SessionRuntime"),
+    "ShardedPlanCache": ("repro.serve", "ShardedPlanCache"),
+    "Tenant": ("repro.serve", "Tenant"),
     "compile_program": ("repro.core.plan", "compile_program"),
     "lower": ("repro.core.program", "lower"),
     "run_program": ("repro.core.program", "run_program"),

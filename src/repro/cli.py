@@ -18,6 +18,12 @@ Commands:
 * ``trace``                  — analytical primitive-op trace of the micro
                                model; ``--executed`` also runs it under a
                                CountingBackend and reports parity.
+* ``serve``                  — in-process demo of the layered multi-tenant
+                               service: tenants, fair scheduler, warm worker
+                               pool, shared plan cache; prints per-layer stats.
+* ``loadgen``                — closed-loop load generator over the service
+                               -> BENCH_serve.json (requests/sec, p50/p99
+                               latency, queue depth, plan-cache hit rate).
 * ``ablation``               — accelerator design-choice ablations.
 
 Exit codes are uniform across commands: 0 on success, 1 when the library
@@ -346,6 +352,102 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up the four-layer service in process and answer a demo batch."""
+    import numpy as np
+
+    from repro.fhe.params import TEST_FBS
+    from repro.perf import ExecConfig
+    from repro.serve import AthenaService, Tenant
+    from repro.serve.loadgen import serve_micro_cnn
+
+    qm = serve_micro_cnn(np.random.default_rng(5))
+    tenants = [
+        Tenant(f"tenant{i}", TEST_FBS, seed=args.seed + i)
+        for i in range(args.tenants)
+    ]
+    service = AthenaService(
+        tenants,
+        exec_config=ExecConfig(args.mode, args.workers),
+        queue_capacity=max(1, -(-args.requests // args.tenants)),
+        transport_s=args.transport_ms / 1000.0,
+    )
+    fingerprint = service.register_model("serve_micro", qm)
+    rng = np.random.default_rng(args.seed + 7)
+    cin, h, w = qm.input_shape
+    batch = [
+        (
+            tenants[i % args.tenants].tenant_id,
+            "serve_micro",
+            rng.integers(-2, 3, (cin, h, w)).astype(np.int64),
+        )
+        for i in range(args.requests)
+    ]
+    outputs = service.serve_batch(batch)
+    stats = service.stats()
+    sched = stats["scheduler"]
+    lines = [
+        f"serve_micro @ {TEST_FBS.name} ({fingerprint[:16]}), "
+        f"{len(outputs)} requests, {args.tenants} tenants, "
+        f"{args.workers} {args.mode} worker(s)",
+        f"  scheduler : accepted {sched['accepted']}, "
+        f"rejected {sched['rejected']}, "
+        f"peak queue depth {sched['queue_depth_max']}",
+        f"  plan cache: {stats['plan_cache']['hits']} hits / "
+        f"{stats['plan_cache']['misses']} misses",
+    ]
+    for tid, trec in sorted(stats["tenants"].items()):
+        lines.append(
+            f"  {tid:<10}: {trec['requests']} answered, "
+            f"key material {trec['key_material_mb']} MiB"
+        )
+    _emit(args, "\n".join(lines) + "\n", stats)
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import BENCH_SERVE_FILENAME, run_loadgen
+
+    model = args.model
+    requests = args.requests
+    if args.quick:
+        # Keep the default transport window: on the micro model it is the
+        # dominant per-request cost, which is exactly what lets the
+        # multi-worker configuration overlap and win even in smoke runs.
+        model = "micro"
+        requests = min(requests, 4)
+    out = args.out if args.out else BENCH_SERVE_FILENAME
+    workers = tuple(int(w) for w in args.workers.split(","))
+    records = run_loadgen(
+        out=out,
+        model=model,
+        tenants=args.tenants,
+        requests=requests,
+        worker_counts=workers,
+        mode=args.mode,
+        transport_s=args.transport_ms / 1000.0,
+        seed=args.seed,
+        warmup=args.warmup,
+        cache_dir=args.cache_dir,
+    )
+    lines = [f"wrote {out}"]
+    for r in records:
+        hit_rate = r["plan_cache"]["hit_rate"]
+        hit = "n/a" if hit_rate is None else f"{hit_rate:.2f}"
+        lines.append(
+            f"  {r['model']} [{r['phase']}] {r['workers']}x{r['mode']}: "
+            f"{r['requests_per_s']:.3f} req/s, "
+            f"p50 {r['latency_p50_s']:.3f}s, p99 {r['latency_p99_s']:.3f}s, "
+            f"cache hit rate {hit}"
+        )
+    text = "\n".join(lines) + "\n"
+    if args.json:
+        sys.stdout.write(json.dumps(records, indent=2) + "\n")
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.accel.ablation import run_ablations
     from repro.eval.render import render_table
@@ -423,6 +525,47 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["batched", "serial"],
                    help="backend for --executed (default: batched)")
     p.set_defaults(func=_cmd_trace, seed=41)
+
+    p = sub.add_parser("serve", parents=[seed, output],
+                       help="multi-tenant serving demo (in-process)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="number of tenants (default: 2)")
+    p.add_argument("--requests", type=int, default=4,
+                   help="demo requests, round-robin across tenants")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker count (default: 1)")
+    p.add_argument("--mode", default="serial",
+                   choices=["serial", "thread", "process"],
+                   help="worker executor mode (default: serial)")
+    p.add_argument("--transport-ms", type=float, default=0.0,
+                   help="per-request ciphertext transport window, ms")
+    p.set_defaults(func=_cmd_serve, seed=41)
+
+    p = sub.add_parser("loadgen", parents=[seed, output],
+                       help="serving load generator (BENCH_serve.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: micro model, few requests")
+    p.add_argument("--model", default="mnist_cnn",
+                   choices=["mnist_cnn", "micro"],
+                   help="serving subject (default: mnist_cnn)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="number of tenants (default: 2)")
+    p.add_argument("--requests", type=int, default=6,
+                   help="timed requests per configuration (default: 6)")
+    p.add_argument("--workers", default="1,2", metavar="N[,N...]",
+                   help="comma-separated worker counts to compare "
+                        "(default: 1,2)")
+    p.add_argument("--mode", default="thread",
+                   choices=["serial", "thread", "process"],
+                   help="worker executor mode (default: thread)")
+    p.add_argument("--transport-ms", type=float, default=1500.0,
+                   help="per-request ciphertext transport window, ms "
+                        "(default: 1500)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup requests per tenant (default: 1)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="disk-backed plan cache directory (default: memory)")
+    p.set_defaults(func=_cmd_loadgen, seed=41)
 
     p = sub.add_parser("ablation", help="accelerator design ablations")
     p.add_argument("--model", default="resnet20")

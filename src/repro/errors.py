@@ -30,3 +30,11 @@ class QuantizationError(ReproError):
 
 class ScheduleError(ReproError):
     """The accelerator simulator was given an unschedulable op trace."""
+
+
+class ServiceOverloaded(ReproError):
+    """The serving layer shed a request: its tenant's queue is full.
+
+    Raised synchronously at admission time (never after a request has been
+    queued), so a rejected caller knows no work was started and may retry
+    with backoff against a less loaded deployment."""

@@ -1,15 +1,45 @@
-"""Warm inference serving: compile once, run many.
+"""Warm inference serving: compile once, run many, serve many tenants.
 
-The deployment loop the paper assumes — a datacenter holding one model and
-answering a stream of encrypted requests — splits into a one-time compile
-(:func:`repro.core.plan.compile_program`) and a per-request run of
-ciphertext ops only. :class:`InferenceSession` owns that split for one
-model + parameter set; :class:`PlanCache` persists compiled plans on disk,
-keyed by ``(model hash, params hash)``, so even the compile is paid once
-per model *ever*, not once per process.
+The deployment loop the paper assumes — a datacenter holding models and
+answering streams of encrypted requests — splits into a one-time compile
+(:func:`repro.core.plan.compile_program`) and per-request ciphertext ops.
+This package layers that split into a service:
+
+* **session** — :class:`SessionCore` (the picklable compile-time half) +
+  :class:`SessionRuntime` (keys, pipeline, request lock, p50/p99 stats);
+  :class:`InferenceSession` remains the single-tenant façade over one of
+  each.
+* **cache** — :class:`PlanCache` (crash-safe on-disk plan persistence) and
+  :class:`ShardedPlanCache` (fingerprint-sharded + in-memory, shared by
+  tenants running the same model).
+* **tenant** — :class:`Tenant` / :class:`TenantRegistry`: per-tenant
+  parameters, keygen seeds, pinned backends, and key-inventory sizing.
+* **scheduler** — :class:`FairScheduler`: bounded per-tenant queues,
+  reject/shed admission control (:class:`repro.errors.ServiceOverloaded`),
+  round-robin fair dequeue.
+* **workers** — :class:`WorkerPool`: warm ``(tenant, model)`` sessions
+  behind serial/thread/process executors with per-worker key material.
+* **service** — :class:`AthenaService`: the asyncio façade composing all
+  of the above (``repro serve`` / ``repro loadgen`` on the CLI).
 """
 
-from repro.serve.cache import PlanCache
-from repro.serve.session import InferenceSession
+from repro.serve.cache import PlanCache, ShardedPlanCache
+from repro.serve.scheduler import FairScheduler, ServiceRequest
+from repro.serve.service import AthenaService
+from repro.serve.session import InferenceSession, SessionCore, SessionRuntime
+from repro.serve.tenant import Tenant, TenantRegistry
+from repro.serve.workers import WorkerPool
 
-__all__ = ["InferenceSession", "PlanCache"]
+__all__ = [
+    "AthenaService",
+    "FairScheduler",
+    "InferenceSession",
+    "PlanCache",
+    "ServiceRequest",
+    "SessionCore",
+    "SessionRuntime",
+    "ShardedPlanCache",
+    "Tenant",
+    "TenantRegistry",
+    "WorkerPool",
+]

@@ -1,7 +1,25 @@
-"""On-disk compiled-plan cache keyed by (model hash, params hash)."""
+"""On-disk compiled-plan caches keyed by (model hash, params hash).
+
+Two flavours:
+
+* :class:`PlanCache` — the flat single-directory cache of PR 3, now with
+  crash-safe persistence (plans are written to a temp file in the cache
+  directory and published with :func:`os.replace`, so a concurrent reader
+  can never load a truncated ``.plan``) and hit/miss accounting.
+* :class:`ShardedPlanCache` — the serving-layer cache: artifacts are
+  sharded into subdirectories by ``program_fingerprint`` prefix (so one
+  deployment directory scales past a few thousand models), and loaded
+  plans are additionally memoized in memory keyed by the full
+  ``(model hash, params hash, chunk)`` triple — tenants sharing a model
+  under the same parameters share one compiled artifact *object*, which is
+  safe because plans hold no key material and are read-only at run time.
+"""
 
 from __future__ import annotations
 
+import os
+import tempfile
+import threading
 from pathlib import Path
 
 from repro.core.plan import CompiledProgram, compile_program, program_fingerprint
@@ -16,6 +34,16 @@ class PlanCache:
     the lowered model (structure + weights + quantization config) and the
     parameter set — plus the chunk cap, which changes the tile layout.
     Artifacts contain no key material, so a shared cache directory is safe.
+
+    Writes are atomic: the artifact is staged as a ``*.tmp`` file in the
+    destination directory and published with :func:`os.replace`, so every
+    path carrying the ``.plan`` suffix is a complete artifact — a writer
+    crashing mid-dump leaves at worst a stray temp file, never a truncated
+    plan a concurrent :meth:`get` could load.
+
+    ``hits`` / ``misses`` count lookups (a miss is a compile);
+    :meth:`stats` reports them with the derived hit rate. Counter updates
+    are lock-protected so concurrent serving threads never lose one.
     """
 
     SUFFIX = ".plan"
@@ -23,6 +51,9 @@ class PlanCache:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
 
     def path_for(
         self, model_hash: str, params: FheParams, chunk: int | None = None
@@ -31,13 +62,114 @@ class PlanCache:
         tag = f"-c{chunk}" if chunk is not None else ""
         return self.root / f"{model_hash[:16]}-{phash}{tag}{self.SUFFIX}"
 
+    def _record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Fraction of lookups served without a compile (None before any)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else None
+
+    def stats(self) -> dict:
+        """JSON-ready lookup accounting."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else None,
+            }
+
     def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
         """Load the program's plan from disk, compiling (and saving) on miss."""
         path = self.path_for(program_fingerprint(program), params, chunk)
         if path.exists():
             plan = load_plan(path.read_bytes(), params)
             plan.bind(program, params)
+            self._record(hit=True)
             return plan
         plan = compile_program(program, params, chunk=chunk)
-        path.write_bytes(dump_plan(plan))
+        self._write_atomic(path, dump_plan(plan))
+        self._record(hit=False)
+        return plan
+
+    def _write_atomic(self, path: Path, raw: bytes) -> None:
+        """Stage ``raw`` beside ``path`` and publish it with one rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(raw)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+class ShardedPlanCache(PlanCache):
+    """Fingerprint-sharded plan cache with an in-memory layer.
+
+    ``root=None`` builds a memory-only cache (nothing touches disk) — the
+    default for an :class:`repro.serve.AthenaService` that was not given a
+    persistent cache directory, so co-located tenants still share one
+    compiled plan per model.
+
+    Disk layout shards by the leading ``shard_chars`` hex digits of the
+    model fingerprint: ``<root>/<hash[:2]>/<hash[:16]>-<params>.plan``.
+    """
+
+    def __init__(self, root: str | Path | None, shard_chars: int = 2):
+        self.shard_chars = shard_chars
+        self._memory: dict[tuple[str, str, int | None], CompiledProgram] = {}
+        if root is None:
+            # Memory-only: skip PlanCache.__init__'s mkdir but keep counters.
+            self.root = None
+            self.hits = 0
+            self.misses = 0
+            self._lock = threading.Lock()
+        else:
+            super().__init__(root)
+
+    def path_for(
+        self, model_hash: str, params: FheParams, chunk: int | None = None
+    ) -> Path:
+        phash = params_fingerprint(params).hex()
+        tag = f"-c{chunk}" if chunk is not None else ""
+        return (
+            self.root
+            / model_hash[: self.shard_chars]
+            / f"{model_hash[:16]}-{phash}{tag}{self.SUFFIX}"
+        )
+
+    def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
+        """Memory, then (if disk-backed) sharded disk, then compile."""
+        key = (
+            program_fingerprint(program),
+            params_fingerprint(params).hex(),
+            chunk,
+        )
+        with self._lock:
+            plan = self._memory.get(key)
+        if plan is not None:
+            plan.bind(program, params)
+            self._record(hit=True)
+            return plan
+        if self.root is not None:
+            plan = super().get(program, params, chunk)
+        else:
+            plan = compile_program(program, params, chunk=chunk)
+            self._record(hit=False)
+        with self._lock:
+            self._memory[key] = plan
         return plan

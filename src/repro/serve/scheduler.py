@@ -1,0 +1,179 @@
+"""Scheduler layer: the asyncio front door of the serving stack.
+
+:class:`FairScheduler` owns admission and ordering, nothing else — it
+never touches ciphertexts or keys. Three properties, each load-bearing for
+a multi-tenant deployment:
+
+* **Bounded queues** — each tenant gets its own FIFO of at most
+  ``capacity`` pending requests. Admission is synchronous: a request
+  either enters its tenant's queue or is shed immediately with
+  :class:`repro.errors.ServiceOverloaded`, so callers always know whether
+  work was started and backpressure propagates to the edge instead of
+  growing an unbounded backlog.
+* **Tenant isolation** — the bound is *per tenant*, so one tenant
+  flooding the service exhausts only its own queue space; other tenants'
+  requests are still admitted.
+* **Fair dequeue** — workers drain tenants round-robin (each dequeue
+  serves the next tenant in the ring that has work), so a deep queue for
+  one tenant cannot starve the others regardless of arrival order.
+
+The scheduler is asyncio-native and single-loop: :meth:`submit` is called
+from the event-loop thread (the service's ``submit`` coroutine),
+:meth:`next_request` is awaited by the service's dispatcher tasks. Depth
+accounting feeds the load generator's ``queue_depth_max`` metric, and a
+:class:`~repro.perf.PerfRecorder` (when attached) receives
+``sched.accepted`` / ``sched.rejected`` counts and per-request queue-wait
+time under the ``queue_wait`` phase.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError, ServiceOverloaded
+from repro.perf import PerfRecorder
+
+__all__ = ["FairScheduler", "ServiceRequest"]
+
+
+@dataclass
+class ServiceRequest:
+    """One queued inference request flowing scheduler -> worker."""
+
+    tenant_id: str
+    model: str
+    x_q: np.ndarray
+    #: Resolved by the dispatcher with the decrypted output (or an error).
+    future: asyncio.Future | None = None
+    #: ``time.perf_counter()`` at admission; queue wait derives from it.
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class FairScheduler:
+    """Bounded per-tenant FIFOs with round-robin fair dequeue."""
+
+    def __init__(
+        self,
+        tenant_ids,
+        capacity: int = 8,
+        perf: PerfRecorder | None = None,
+    ):
+        tenant_ids = list(tenant_ids)
+        if not tenant_ids:
+            raise ParameterError("scheduler needs at least one tenant")
+        if capacity < 1:
+            raise ParameterError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.perf = perf
+        self._queues: dict[str, deque[ServiceRequest]] = {
+            tid: deque() for tid in tenant_ids
+        }
+        #: Fairness ring: rotated one tenant per dequeue.
+        self._ring: deque[str] = deque(tenant_ids)
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self.accepted = 0
+        self.rejected = 0
+        self.depth_max = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> None:
+        """Admit ``request`` or shed it with :class:`ServiceOverloaded`.
+
+        Synchronous and loop-thread only; a rejected request was never
+        queued, so no worker will ever see it.
+        """
+        if self._closed:
+            raise ServiceOverloaded("scheduler is closed")
+        try:
+            queue = self._queues[request.tenant_id]
+        except KeyError:
+            raise ParameterError(
+                f"unknown tenant {request.tenant_id!r}"
+            ) from None
+        if len(queue) >= self.capacity:
+            self.rejected += 1
+            if self.perf is not None:
+                self.perf.count("sched.rejected")
+            raise ServiceOverloaded(
+                f"tenant {request.tenant_id!r} queue is full "
+                f"({self.capacity} pending)"
+            )
+        request.enqueued_at = time.perf_counter()
+        queue.append(request)
+        self.accepted += 1
+        self.depth_max = max(self.depth_max, self.depth())
+        if self.perf is not None:
+            self.perf.count("sched.accepted")
+        self._wakeup.set()
+
+    # -- dequeue -----------------------------------------------------------
+
+    def _pop_next(self) -> ServiceRequest | None:
+        """One round-robin sweep: the next tenant with work, else None."""
+        for _ in range(len(self._ring)):
+            tenant_id = self._ring[0]
+            self._ring.rotate(-1)
+            queue = self._queues[tenant_id]
+            if queue:
+                return queue.popleft()
+        return None
+
+    async def next_request(self) -> ServiceRequest | None:
+        """Await the next request, fairly across tenants.
+
+        Returns ``None`` once the scheduler is closed *and* drained — the
+        dispatcher's signal to exit. Multiple dispatcher tasks may await
+        this concurrently; each admitted request is delivered exactly once.
+        """
+        while True:
+            request = self._pop_next()
+            if request is not None:
+                if self.perf is not None:
+                    self.perf.add_time(
+                        "queue_wait", time.perf_counter() - request.enqueued_at
+                    )
+                return request
+            if self._closed:
+                return None
+            self._wakeup.clear()
+            # Re-check after clearing: a submit between the sweep above and
+            # the clear would otherwise be parked until the next wakeup.
+            request = self._pop_next()
+            if request is not None:
+                return request
+            if self._closed:
+                return None
+            await self._wakeup.wait()
+
+    # -- lifecycle / accounting --------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; waiters drain the backlog, then receive None."""
+        self._closed = True
+        self._wakeup.set()
+
+    def depth(self, tenant_id: str | None = None) -> int:
+        """Requests currently queued (one tenant, or all)."""
+        if tenant_id is not None:
+            return len(self._queues[tenant_id])
+        return sum(len(q) for q in self._queues.values())
+
+    def stats(self) -> dict:
+        """JSON-ready admission/fairness accounting."""
+        return {
+            "capacity_per_tenant": self.capacity,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "queue_depth": self.depth(),
+            "queue_depth_max": self.depth_max,
+            "per_tenant_depth": {
+                tid: len(q) for tid, q in self._queues.items()
+            },
+        }

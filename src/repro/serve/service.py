@@ -1,0 +1,295 @@
+"""Service façade: the four serving layers composed into one deployment.
+
+:class:`AthenaService` wires tenant registry -> scheduler -> worker pool
+over a shared (sharded) plan cache:
+
+1. **tenant layer** (:mod:`repro.serve.tenant`) — who is served, under
+   which parameters/seeds/backends, and what key material that implies.
+2. **scheduler layer** (:mod:`repro.serve.scheduler`) — bounded per-tenant
+   queues, synchronous admission control (reject/shed with
+   :class:`~repro.errors.ServiceOverloaded`), round-robin fair dequeue.
+3. **worker layer** (:mod:`repro.serve.workers`) — warm
+   ``(tenant, model)`` sessions behind an :class:`~repro.perf.ExecConfig`
+   executor (serial/thread/process), per-worker keys + pinned backends.
+4. **this façade** — model registration through the shared
+   :class:`~repro.serve.cache.ShardedPlanCache` (tenants sharing a model
+   under the same parameters share one compiled artifact), the asyncio
+   dispatch loop connecting scheduler to workers, and aggregate stats.
+
+The request path is ``await service.submit(tenant, model, x)``:
+admission happens synchronously inside ``submit`` (a shed request raises
+before any work starts), then a dispatcher task — one per worker slot —
+picks the request up fairly, optionally holds the slot for the configured
+``transport_s`` window (modeling the per-connection ciphertext
+upload/download an FHE deployment pays; at paper-scale parameters one
+fresh ciphertext is ~5.9 MiB), and runs it on the pool.
+
+Outputs are bit-identical to a direct
+:meth:`repro.serve.InferenceSession.run` with the tenant's seed, provided
+the per-runtime request order matches (each runtime's encryption
+randomness is a deterministic stream) — ``serial``/single-worker pools
+preserve submission order per tenant, which is what the equivalence tests
+pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.program import AthenaProgram, lower
+from repro.errors import ParameterError
+from repro.fhe.params import FheParams
+from repro.perf import ExecConfig, PerfRecorder
+from repro.serve.cache import PlanCache, ShardedPlanCache
+from repro.serve.scheduler import FairScheduler, ServiceRequest
+from repro.serve.session import SessionCore
+from repro.serve.tenant import Tenant, TenantRegistry
+from repro.serve.workers import WorkerPool
+
+__all__ = ["AthenaService"]
+
+
+class AthenaService:
+    """Async multi-tenant inference service over warm sessions.
+
+    Lifecycle: construct -> :meth:`register_model` (once per model) ->
+    :meth:`start` -> any number of :meth:`submit` -> :meth:`stop`. The
+    synchronous :meth:`serve_batch` wraps that whole cycle around one list
+    of requests for callers without an event loop (CLI, tests).
+
+    ``cache=None`` builds a memory-only :class:`ShardedPlanCache`, so
+    co-located tenants still share compiled plans; pass a disk-backed
+    cache to share them across processes and restarts.
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry | Iterable[Tenant],
+        cache: PlanCache | None = None,
+        exec_config: ExecConfig | None = None,
+        queue_capacity: int = 8,
+        transport_s: float = 0.0,
+        perf: PerfRecorder | None = None,
+    ):
+        if isinstance(tenants, TenantRegistry):
+            self.tenants = tenants
+        else:
+            self.tenants = TenantRegistry(tenants)
+        if len(self.tenants) == 0:
+            raise ParameterError("service needs at least one tenant")
+        if transport_s < 0:
+            raise ParameterError("transport window cannot be negative")
+        self.cache = cache if cache is not None else ShardedPlanCache(None)
+        self.exec_config = (
+            exec_config if exec_config is not None else ExecConfig("thread")
+        )
+        self.queue_capacity = queue_capacity
+        self.transport_s = transport_s
+        self.perf = perf if perf is not None else PerfRecorder()
+        self.models: dict[str, str] = {}  # name -> program fingerprint
+        self._cores: dict[tuple[str, str], SessionCore] = {}
+        self.pool: WorkerPool | None = None
+        self.scheduler: FairScheduler | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._per_tenant_requests: dict[str, int] = {
+            tid: 0 for tid in self.tenants.ids()
+        }
+
+    # -- model registration (compile once, share via the cache) ------------
+
+    def register_model(
+        self,
+        name: str,
+        model,
+        chunk: int | None = None,
+    ) -> str:
+        """Compile ``model`` for every tenant; returns its fingerprint.
+
+        ``model`` is a quantized model (lowered per tenant parameter set)
+        or a pre-lowered :class:`AthenaProgram` (then every tenant must use
+        its parameter set). Compilation goes through the shared plan cache,
+        so the first tenant pays the compile and every further tenant with
+        the same parameters gets a cache hit — the sharing the fingerprint
+        sharding exists for.
+        """
+        if self.pool is not None:
+            raise ParameterError("register models before start()")
+        if name in self.models:
+            raise ParameterError(f"model {name!r} already registered")
+        fingerprint: str | None = None
+        for tenant in self.tenants:
+            if isinstance(model, AthenaProgram):
+                if tenant.params != model.params:
+                    raise ParameterError(
+                        "pre-lowered programs require every tenant to use "
+                        "the program's parameter set; register the "
+                        "quantized model instead"
+                    )
+                program = model
+            else:
+                program = lower(model, tenant.params)
+            core = SessionCore.build(
+                program,
+                tenant.params,
+                seed=tenant.seed,
+                chunk=chunk,
+                cache=self.cache,
+                backend=tenant.backend,
+            )
+            if fingerprint is None:
+                fingerprint = core.fingerprint
+            elif core.fingerprint != fingerprint:
+                raise ParameterError(
+                    f"model {name!r} lowers to different fingerprints "
+                    "across tenants"
+                )
+            self._cores[(tenant.tenant_id, name)] = core
+        self.models[name] = fingerprint
+        return fingerprint
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the workers (keygen everywhere) and open the front door."""
+        if self.pool is not None:
+            raise ParameterError("service already started")
+        if not self._cores:
+            raise ParameterError("register at least one model before start()")
+        self.pool = WorkerPool(self._cores, self.exec_config, perf=self.perf)
+        self.pool.start()
+        self.scheduler = FairScheduler(
+            self.tenants.ids(), capacity=self.queue_capacity, perf=self.perf
+        )
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch())
+            for _ in range(self.pool.slots)
+        ]
+
+    async def stop(self) -> None:
+        """Drain the backlog, retire the dispatchers, stop the workers."""
+        if self.scheduler is not None:
+            self.scheduler.close()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers)
+            self._dispatchers = []
+        if self.pool is not None:
+            self.pool.stop()
+
+    async def _dispatch(self) -> None:
+        """One worker slot's loop: fair-dequeue -> transport -> run."""
+        while True:
+            request = await self.scheduler.next_request()
+            if request is None:
+                return
+            try:
+                if self.transport_s:
+                    # The slot is held for the ciphertext transport window,
+                    # like a connection streaming an upload; other slots
+                    # keep computing meanwhile.
+                    with self.perf.phase("transport"):
+                        await asyncio.sleep(self.transport_s)
+                out = await self.pool.run(
+                    (request.tenant_id, request.model), request.x_q
+                )
+                self._per_tenant_requests[request.tenant_id] += 1
+                if not request.future.cancelled():
+                    request.future.set_result(out)
+            except Exception as exc:  # noqa: BLE001 - delivered to caller
+                if request.future.cancelled():
+                    raise
+                request.future.set_exception(exc)
+
+    # -- request path ------------------------------------------------------
+
+    def submit_nowait(
+        self, tenant_id: str, model: str, x_q: np.ndarray
+    ) -> asyncio.Future:
+        """Admit one request; returns the future resolving to its output.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` synchronously when
+        the tenant's queue is full and :class:`ParameterError` for unknown
+        tenants/models — in both cases nothing was queued.
+        """
+        if self.scheduler is None:
+            raise ParameterError("service is not started")
+        self.tenants.get(tenant_id)  # unknown-tenant check, typed error
+        if (tenant_id, model) not in self._cores:
+            raise ParameterError(
+                f"model {model!r} is not registered; have: "
+                f"{sorted(self.models)}"
+            )
+        future = asyncio.get_running_loop().create_future()
+        request = ServiceRequest(
+            tenant_id=tenant_id,
+            model=model,
+            x_q=np.asarray(x_q, dtype=np.int64),
+            future=future,
+        )
+        self.scheduler.submit(request)
+        return future
+
+    async def submit(
+        self, tenant_id: str, model: str, x_q: np.ndarray
+    ) -> np.ndarray:
+        """One encrypted inference through the full service path."""
+        return await self.submit_nowait(tenant_id, model, x_q)
+
+    # -- synchronous convenience -------------------------------------------
+
+    def serve_batch(
+        self, requests: list[tuple[str, str, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Start, answer ``requests`` concurrently, stop; outputs in order.
+
+        The whole batch is admitted up front, so the per-tenant queue bound
+        must cover each tenant's share of the batch — size
+        ``queue_capacity`` accordingly or submissions raise
+        :class:`~repro.errors.ServiceOverloaded` exactly as they would
+        against a live overloaded service.
+        """
+
+        async def _run() -> list[np.ndarray]:
+            await self.start()
+            try:
+                futures = [
+                    self.submit_nowait(tenant_id, model, x_q)
+                    for tenant_id, model, x_q in requests
+                ]
+                return list(await asyncio.gather(*futures))
+            finally:
+                await self.stop()
+
+        return asyncio.run(_run())
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready deployment accounting across all four layers."""
+        record = {
+            "tenants": {
+                tenant.tenant_id: {
+                    "params": tenant.params.name,
+                    "backend": tenant.backend,
+                    "requests": self._per_tenant_requests[tenant.tenant_id],
+                    "key_material_mb": round(
+                        tenant.key_material_bytes() / 2**20, 3
+                    ),
+                }
+                for tenant in self.tenants
+            },
+            "models": dict(self.models),
+            "queue_capacity": self.queue_capacity,
+            "transport_s": self.transport_s,
+            "plan_cache": self.cache.stats(),
+            "phase_s": {
+                k: round(v, 6) for k, v in sorted(self.perf.phase_s.items())
+            },
+        }
+        if self.scheduler is not None:
+            record["scheduler"] = self.scheduler.stats()
+        if self.pool is not None:
+            record["workers"] = self.pool.stats()
+        return record

@@ -1,10 +1,32 @@
-"""A warm inference session: one compiled model, many encrypted requests."""
+"""Warm inference sessions, split into a picklable core and a runtime.
+
+The compile-once/run-many split of PR 3 had one seam left to open: the
+:class:`InferenceSession` façade fused *what a session knows* (the lowered
+program, the parameter set, the compiled plan — all request-invariant and
+key-free) with *what a session holds* (generated keys, an attached
+pipeline, a request lock). A multi-worker serving deployment needs those
+halves apart: the knowledge is compiled once and shipped to every worker,
+while each worker generates its own key material and answers requests
+locally.
+
+* :class:`SessionCore` — the picklable compile-time half. Contains no key
+  material, no locks, and no pipeline; a core can cross a process boundary
+  (``pickle``), which is how :class:`repro.serve.workers.WorkerPool` seeds
+  process workers with warm sessions.
+* :class:`SessionRuntime` — the per-worker half: key generation, the
+  pipeline, the request lock, and request bookkeeping (including a
+  per-request latency log so :meth:`SessionRuntime.stats` reports p50/p99).
+* :class:`InferenceSession` — the original façade, now a thin composition
+  of one core and one runtime. Its constructor signature and semantics are
+  unchanged.
+"""
 
 from __future__ import annotations
 
 import threading
 import time
 from contextlib import nullcontext
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -15,19 +37,176 @@ from repro.fhe.backend import Backend, get_backend, use_backend
 from repro.fhe.params import TEST_LOOP, FheParams
 from repro.perf import ParallelMap, PerfRecorder
 
+__all__ = ["InferenceSession", "SessionCore", "SessionRuntime"]
+
+
+def _percentile(latencies: list[float], q: float) -> float | None:
+    """Latency percentile (seconds), ``None`` before the first request."""
+    if not latencies:
+        return None
+    return round(float(np.percentile(np.asarray(latencies), q)), 6)
+
+
+@dataclass
+class SessionCore:
+    """The request-invariant half of a session: program + params + plan.
+
+    Everything here is plain data — numpy arrays, dataclasses, and at most
+    a backend *name* — so a core pickles cleanly and can be built once in a
+    control process, persisted through a :class:`repro.serve.PlanCache`,
+    and handed to any number of workers. Pass ``backend`` as a name (not an
+    instance) when a core must cross a process boundary; stateful backend
+    instances (e.g. a populated CountingBackend) are kept by reference and
+    only survive pickling if they themselves do.
+    """
+
+    program: AthenaProgram
+    params: FheParams
+    plan: CompiledProgram
+    seed: int = 0
+    backend: Backend | str | None = None
+    compile_s: float = 0.0
+
+    @property
+    def fingerprint(self) -> str:
+        """The plan's model hash — the cache/sharding key for this model."""
+        return self.plan.model_hash
+
+    @classmethod
+    def build(
+        cls,
+        model,
+        params: FheParams | None = None,
+        seed: int = 0,
+        chunk: int | None = None,
+        plan: CompiledProgram | None = None,
+        cache=None,
+        backend: Backend | str | None = None,
+    ) -> "SessionCore":
+        """Lower + compile (or cache-load, or bind) the compile-time half.
+
+        Mirrors the historical ``InferenceSession`` constructor: ``model``
+        may be a quantized model or a pre-lowered program; ``plan`` binds a
+        caller-supplied deserialized plan, ``cache`` consults a
+        :class:`repro.serve.PlanCache`, and otherwise the program is
+        compiled here. The duration of that plan work is ``compile_s``.
+        """
+        if isinstance(model, AthenaProgram):
+            program = model
+            params = params or program.params
+        else:
+            params = params or TEST_LOOP
+            program = lower(model, params)
+        dispatch = use_backend(backend) if backend is not None else nullcontext()
+        start = time.perf_counter()
+        with dispatch:
+            if plan is not None:
+                plan.bind(program, params)
+            elif cache is not None:
+                plan = cache.get(program, params, chunk)
+            else:
+                plan = compile_program(program, params, chunk=chunk)
+        return cls(
+            program=program,
+            params=params,
+            plan=plan,
+            seed=seed,
+            backend=backend,
+            compile_s=time.perf_counter() - start,
+        )
+
+
+class SessionRuntime:
+    """The per-worker half: keys, pipeline, lock, request bookkeeping.
+
+    Construction generates this runtime's key material deterministically
+    from ``core.seed`` (timed as ``keygen_s``), so every worker built from
+    the same core holds identical keys and — given the same request order —
+    produces bit-identical outputs.
+
+    :meth:`run` serializes requests on an internal lock; *all* bookkeeping
+    (request count, accumulated run time, the per-request latency log, and
+    ``last_perf``) is updated inside that lock, so concurrent callers never
+    lose updates and :meth:`stats` always reports a consistent snapshot,
+    including p50/p99 request latency.
+    """
+
+    def __init__(self, core: SessionCore, pmap: ParallelMap | None = None):
+        self.core = core
+        self.backend = (
+            get_backend(core.backend) if core.backend is not None else None
+        )
+        start = time.perf_counter()
+        self.pipeline = AthenaPipeline(
+            core.params, seed=core.seed, backend=self.backend
+        )
+        self.keygen_s = time.perf_counter() - start
+        self.pmap = pmap
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.run_s = 0.0
+        self.latencies: list[float] = []
+        self.last_perf: PerfRecorder | None = None
+
+    def run(
+        self,
+        x_q: np.ndarray,
+        cost: LoopCost | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> np.ndarray:
+        """One encrypted inference; returns centered integer outputs."""
+        core = self.core
+        recorder = perf if perf is not None else PerfRecorder()
+        with self._lock:
+            previous = self.pipeline.perf
+            self.pipeline.attach_perf(recorder)
+            try:
+                out = self.pipeline.run_program(
+                    core.program, x_q, cost, pmap=self.pmap, plan=core.plan
+                )
+            finally:
+                self.pipeline.attach_perf(previous)
+            self.requests += 1
+            self.run_s += recorder.wall_s
+            self.latencies.append(recorder.wall_s)
+            self.last_perf = recorder
+        return out
+
+    def stats(self) -> dict:
+        """JSON-ready accounting: compile vs keygen vs run, p50/p99."""
+        with self._lock:
+            requests = self.requests
+            run_s = self.run_s
+            latencies = list(self.latencies)
+        core = self.core
+        return {
+            "model": core.program.name,
+            "model_hash": core.fingerprint,
+            "backend": self.backend.name if self.backend is not None else None,
+            "compile_s": round(core.compile_s, 6),
+            "keygen_s": round(self.keygen_s, 6),
+            "requests": requests,
+            "run_s": round(run_s, 6),
+            "mean_run_s": round(run_s / requests, 6) if requests else None,
+            "run_p50_s": _percentile(latencies, 50),
+            "run_p99_s": _percentile(latencies, 99),
+        }
+
 
 class InferenceSession:
     """Compile once, run many: the warm-serving façade over the pipeline.
 
-    Construction does all request-invariant work — key generation, then
-    either plan compilation, a :class:`repro.serve.PlanCache` lookup, or
-    binding a caller-supplied deserialized plan — and records its duration
-    as ``compile_s``. Each :meth:`run` then performs only ciphertext ops,
-    timed by a fresh per-request :class:`PerfRecorder` (so ``compile_s``
-    and per-request ``run_s`` never mix; a cold ``run_program`` instead
-    carries its compile inside the run span under the ``compile`` phase).
+    Construction does all request-invariant work — plan compilation, a
+    :class:`repro.serve.PlanCache` lookup, or binding a caller-supplied
+    deserialized plan (the :class:`SessionCore`, its duration recorded as
+    ``compile_s``) — then key generation and pipeline setup (the
+    :class:`SessionRuntime`). Each :meth:`run` performs only ciphertext
+    ops, timed by a fresh per-request :class:`PerfRecorder` (so
+    ``compile_s`` and per-request ``run_s`` never mix; a cold
+    ``run_program`` instead carries its compile inside the run span under
+    the ``compile`` phase).
 
-    Requests are serialized by an internal lock — the pipeline's recorder
+    Requests are serialized by the runtime's lock — the pipeline's recorder
     attachment and deterministic randomness are per-pipeline state — while
     each request still fans out its chunked tiles through ``pmap``
     internally. Outputs are bit-identical to a plan-free
@@ -41,6 +220,10 @@ class InferenceSession:
     interfere — the thread-safety claim above holds per session, not per
     process. A :class:`~repro.fhe.backend.CountingBackend` here turns every
     request into an executed-op trace (see ``session.backend.summary()``).
+
+    The session is a composition of its two halves (``session.core``,
+    ``session.runtime``); multi-worker deployments use those directly (one
+    core, many runtimes) through :class:`repro.serve.AthenaService`.
     """
 
     def __init__(
@@ -54,34 +237,64 @@ class InferenceSession:
         cache=None,
         backend: Backend | str | None = None,
     ):
-        if isinstance(model, AthenaProgram):
-            program = model
-            params = params or program.params
-        else:
-            params = params or TEST_LOOP
-            program = lower(model, params)
-        self.program = program
-        self.params = params
-        self.backend = get_backend(backend) if backend is not None else None
-        self.pipeline = AthenaPipeline(params, seed=seed, backend=self.backend)
-        self.pmap = pmap
-        self._lock = threading.Lock()
-        start = time.perf_counter()
-        with self._dispatch():
-            if plan is not None:
-                plan.bind(program, params)
-            elif cache is not None:
-                plan = cache.get(program, params, chunk)
-            else:
-                plan = compile_program(program, params, chunk=chunk)
-        self.plan = plan
-        self.compile_s = time.perf_counter() - start
-        self.requests = 0
-        self.run_s = 0.0
-        self.last_perf: PerfRecorder | None = None
+        self.core = SessionCore.build(
+            model,
+            params=params,
+            seed=seed,
+            chunk=chunk,
+            plan=plan,
+            cache=cache,
+            backend=backend,
+        )
+        self.runtime = SessionRuntime(self.core, pmap=pmap)
 
-    def _dispatch(self):
-        return use_backend(self.backend) if self.backend is not None else nullcontext()
+    # -- compile-time half -------------------------------------------------
+
+    @property
+    def program(self) -> AthenaProgram:
+        return self.core.program
+
+    @property
+    def params(self) -> FheParams:
+        return self.core.params
+
+    @property
+    def plan(self) -> CompiledProgram:
+        return self.core.plan
+
+    @property
+    def compile_s(self) -> float:
+        return self.core.compile_s
+
+    # -- runtime half ------------------------------------------------------
+
+    @property
+    def backend(self) -> Backend | None:
+        return self.runtime.backend
+
+    @property
+    def pipeline(self) -> AthenaPipeline:
+        return self.runtime.pipeline
+
+    @property
+    def pmap(self) -> ParallelMap | None:
+        return self.runtime.pmap
+
+    @property
+    def requests(self) -> int:
+        return self.runtime.requests
+
+    @property
+    def run_s(self) -> float:
+        return self.runtime.run_s
+
+    @property
+    def latencies(self) -> list[float]:
+        return self.runtime.latencies
+
+    @property
+    def last_perf(self) -> PerfRecorder | None:
+        return self.runtime.last_perf
 
     def run(
         self,
@@ -90,31 +303,8 @@ class InferenceSession:
         perf: PerfRecorder | None = None,
     ) -> np.ndarray:
         """One encrypted inference; returns centered integer outputs."""
-        recorder = perf if perf is not None else PerfRecorder()
-        with self._lock:
-            previous = self.pipeline.perf
-            self.pipeline.attach_perf(recorder)
-            try:
-                out = self.pipeline.run_program(
-                    self.program, x_q, cost, pmap=self.pmap, plan=self.plan
-                )
-            finally:
-                self.pipeline.attach_perf(previous)
-        self.requests += 1
-        self.run_s += recorder.wall_s
-        self.last_perf = recorder
-        return out
+        return self.runtime.run(x_q, cost, perf)
 
     def stats(self) -> dict:
         """JSON-ready session accounting: compile vs run phases, separated."""
-        return {
-            "model": self.program.name,
-            "model_hash": self.plan.model_hash,
-            "backend": self.backend.name if self.backend is not None else None,
-            "compile_s": round(self.compile_s, 6),
-            "requests": self.requests,
-            "run_s": round(self.run_s, 6),
-            "mean_run_s": (
-                round(self.run_s / self.requests, 6) if self.requests else None
-            ),
-        }
+        return self.runtime.stats()

@@ -1,0 +1,430 @@
+"""The layered serving stack: tenants, scheduler, workers, service façade.
+
+Fast tests pin each layer's contract in isolation — admission control and
+fair dequeue (pure asyncio, no ciphertexts), crash-safe plan persistence,
+the sharded/in-memory cache, the picklable session core, and the service's
+registration/validation rules. The ``slow``-marked tests drive real
+ciphertext inference through the full stack on the TEST_FBS micro model:
+multi-tenant isolation, queue-full shedding against a live service, the
+process worker pool, and the headline guarantee that service outputs are
+bit-identical to direct :class:`InferenceSession` runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.serve.cache as cache_mod
+from repro.errors import ParameterError, ServiceOverloaded
+from repro.fhe.params import TEST_FBS, TEST_LOOP
+from repro.perf import ExecConfig, PerfRecorder
+from repro.serve import (
+    AthenaService,
+    FairScheduler,
+    InferenceSession,
+    PlanCache,
+    ServiceRequest,
+    SessionCore,
+    ShardedPlanCache,
+    Tenant,
+    TenantRegistry,
+)
+from repro.serve.loadgen import serve_micro_cnn
+
+
+def _request(tenant_id: str, model: str = "m") -> ServiceRequest:
+    return ServiceRequest(
+        tenant_id=tenant_id, model=model, x_q=np.zeros(1, dtype=np.int64)
+    )
+
+
+def _micro_model():
+    return serve_micro_cnn(np.random.default_rng(5))
+
+
+def _micro_input(rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(-2, 3, (1, 4, 4)).astype(np.int64)
+
+
+# -- tenant layer ------------------------------------------------------------
+
+
+class TestTenantLayer:
+    def test_registry_rejects_duplicates_and_unknowns(self):
+        registry = TenantRegistry([Tenant("alice", TEST_FBS)])
+        with pytest.raises(ParameterError):
+            registry.add(Tenant("alice", TEST_FBS, seed=9))
+        with pytest.raises(ParameterError):
+            registry.get("mallory")
+        assert "alice" in registry and "mallory" not in registry
+
+    def test_empty_tenant_id_rejected(self):
+        with pytest.raises(ParameterError):
+            Tenant("", TEST_FBS)
+
+    def test_key_sizing_from_params(self):
+        alice = Tenant("alice", TEST_FBS, seed=1)
+        bob = Tenant("bob", TEST_LOOP, seed=2)
+        assert alice.key_material_bytes() > 0
+        # A bigger parameter set implies more evaluation-key storage.
+        assert bob.key_material_bytes() > alice.key_material_bytes()
+        registry = TenantRegistry([alice, bob])
+        assert registry.total_key_material_bytes() == (
+            alice.key_material_bytes() + bob.key_material_bytes()
+        )
+        assert "MiB" in alice.describe()
+
+    def test_ids_keep_registration_order(self):
+        registry = TenantRegistry(
+            [Tenant("z", TEST_FBS), Tenant("a", TEST_FBS)]
+        )
+        assert registry.ids() == ["z", "a"]
+
+
+# -- scheduler layer ---------------------------------------------------------
+
+
+class TestFairScheduler:
+    def test_per_tenant_bound_isolates_tenants(self):
+        sched = FairScheduler(["a", "b"], capacity=2)
+        sched.submit(_request("a"))
+        sched.submit(_request("a"))
+        with pytest.raises(ServiceOverloaded):
+            sched.submit(_request("a"))
+        # Tenant a flooding its queue must not shed tenant b.
+        sched.submit(_request("b"))
+        assert sched.depth("a") == 2 and sched.depth("b") == 1
+        assert sched.accepted == 3 and sched.rejected == 1
+
+    def test_round_robin_dequeue_prevents_starvation(self):
+        perf = PerfRecorder()
+        sched = FairScheduler(["a", "b"], capacity=8, perf=perf)
+        for tid in ["a", "a", "a", "b"]:
+            sched.submit(_request(tid))
+        sched.close()
+
+        async def drain() -> list[str]:
+            order = []
+            while (req := await sched.next_request()) is not None:
+                order.append(req.tenant_id)
+            return order
+
+        # b's lone request is served second despite arriving last.
+        assert asyncio.run(drain()) == ["a", "b", "a", "a"]
+        assert perf.ops["sched.accepted"] == 4
+        assert perf.phase_s["queue_wait"] >= 0
+
+    def test_waiter_wakes_on_submit_and_drains_on_close(self):
+        async def scenario():
+            sched = FairScheduler(["a"], capacity=1)
+
+            async def waiter():
+                first = await sched.next_request()
+                second = await sched.next_request()
+                return first, second
+
+            task = asyncio.create_task(waiter())
+            await asyncio.sleep(0)  # park the waiter on the wakeup event
+            sched.submit(_request("a"))
+            await asyncio.sleep(0)
+            sched.close()
+            return await task
+
+        first, second = asyncio.run(scenario())
+        assert first.tenant_id == "a" and second is None
+
+    def test_closed_scheduler_sheds(self):
+        sched = FairScheduler(["a"])
+        sched.close()
+        with pytest.raises(ServiceOverloaded):
+            sched.submit(_request("a"))
+
+    def test_unknown_tenant_is_a_usage_error(self):
+        sched = FairScheduler(["a"])
+        with pytest.raises(ParameterError):
+            sched.submit(_request("intruder"))
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ParameterError):
+            FairScheduler([])
+        with pytest.raises(ParameterError):
+            FairScheduler(["a"], capacity=0)
+
+    def test_stats_shape(self):
+        sched = FairScheduler(["a", "b"], capacity=3)
+        sched.submit(_request("a"))
+        stats = sched.stats()
+        assert stats["capacity_per_tenant"] == 3
+        assert stats["queue_depth"] == stats["queue_depth_max"] == 1
+        assert stats["per_tenant_depth"] == {"a": 1, "b": 0}
+
+
+# -- crash-safe plan persistence --------------------------------------------
+
+
+def _loop_program():
+    from repro.core.program import lower
+    from repro.perf.bench import mnist_cnn_micro
+
+    return lower(mnist_cnn_micro(np.random.default_rng(5)), TEST_LOOP)
+
+
+class TestCrashSafePersistence:
+    def test_crash_mid_write_leaves_no_partial_plan(self, tmp_path, monkeypatch):
+        program = _loop_program()
+        cache = PlanCache(tmp_path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash before publish")
+
+        monkeypatch.setattr(cache_mod.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.get(program, TEST_LOOP)
+        # Nothing published, nothing leaked: a concurrent reader can never
+        # observe a truncated artifact, and the staging file is cleaned up.
+        assert list(tmp_path.rglob(f"*{PlanCache.SUFFIX}")) == []
+        assert list(tmp_path.rglob("*.tmp")) == []
+        monkeypatch.undo()
+        # The retry compiles again and persists normally.
+        plan = cache.get(program, TEST_LOOP)
+        path = cache.path_for(plan.model_hash, TEST_LOOP)
+        assert path.exists()
+        assert PlanCache(tmp_path).get(program, TEST_LOOP).model_hash == plan.model_hash
+
+    def test_hit_miss_accounting(self, tmp_path):
+        program = _loop_program()
+        cache = PlanCache(tmp_path)
+        assert cache.hit_rate is None
+        cache.get(program, TEST_LOOP)
+        cache.get(program, TEST_LOOP)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert cache.stats() == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+class TestShardedPlanCache:
+    def test_disk_layout_shards_by_fingerprint_prefix(self, tmp_path):
+        program = _loop_program()
+        cache = ShardedPlanCache(tmp_path)
+        plan = cache.get(program, TEST_LOOP)
+        path = cache.path_for(plan.model_hash, TEST_LOOP)
+        assert path.parent == tmp_path / plan.model_hash[:2]
+        assert path.exists()
+
+    def test_memory_layer_shares_one_plan_object(self, tmp_path, monkeypatch):
+        program = _loop_program()
+        cache = ShardedPlanCache(tmp_path)
+        first = cache.get(program, TEST_LOOP)
+
+        def boom(*a, **k):  # pragma: no cover - fails the test if reached
+            raise AssertionError("memoized lookup must not touch disk/compile")
+
+        monkeypatch.setattr(cache_mod, "compile_program", boom)
+        monkeypatch.setattr(cache_mod, "load_plan", boom)
+        assert cache.get(program, TEST_LOOP) is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_memory_only_mode_never_touches_disk(self, monkeypatch):
+        program = _loop_program()
+        cache = ShardedPlanCache(None)
+
+        def boom(*a, **k):  # pragma: no cover - fails the test if reached
+            raise AssertionError("memory-only cache must not write plans")
+
+        monkeypatch.setattr(cache_mod, "dump_plan", boom)
+        first = cache.get(program, TEST_LOOP)
+        assert cache.get(program, TEST_LOOP) is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.root is None
+
+    def test_chunk_is_part_of_the_key(self, tmp_path):
+        program = _loop_program()
+        cache = ShardedPlanCache(tmp_path)
+        unchunked = cache.get(program, TEST_LOOP)
+        chunked = cache.get(program, TEST_LOOP, chunk=16)
+        assert unchunked is not chunked
+        assert cache.misses == 2
+
+
+# -- session core / runtime split --------------------------------------------
+
+
+class TestSessionCore:
+    def test_build_compiles_and_fingerprints(self):
+        core = SessionCore.build(_micro_model(), TEST_FBS, seed=3)
+        assert core.fingerprint == core.plan.model_hash
+        assert core.compile_s > 0
+        assert core.seed == 3
+
+    def test_core_pickles_across_process_boundaries(self):
+        core = SessionCore.build(
+            _micro_model(), TEST_FBS, seed=3, backend="serial"
+        )
+        clone = pickle.loads(pickle.dumps(core))
+        assert clone.fingerprint == core.fingerprint
+        assert clone.program.name == core.program.name
+        assert clone.seed == core.seed and clone.backend == "serial"
+
+    def test_facade_composes_core_and_runtime(self):
+        session = InferenceSession(_micro_model(), TEST_FBS, seed=3)
+        assert session.core.plan is session.plan
+        assert session.runtime.pipeline is session.pipeline
+        assert session.requests == 0 and session.latencies == []
+
+
+# -- service façade: registration and validation (no ciphertext runs) --------
+
+
+class TestServiceValidation:
+    def test_needs_tenants_and_sane_transport(self):
+        with pytest.raises(ParameterError):
+            AthenaService([])
+        with pytest.raises(ParameterError):
+            AthenaService([Tenant("a", TEST_FBS)], transport_s=-1.0)
+
+    def test_registration_shares_plans_across_tenants(self):
+        service = AthenaService(
+            [Tenant("a", TEST_FBS, seed=1), Tenant("b", TEST_FBS, seed=2)]
+        )
+        fingerprint = service.register_model("micro", _micro_model())
+        assert service.models == {"micro": fingerprint}
+        # First tenant compiles (miss), the second shares the plan (hit).
+        assert service.cache.stats() == {
+            "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
+        with pytest.raises(ParameterError):
+            service.register_model("micro", _micro_model())
+
+    def test_prelowered_program_must_match_tenant_params(self):
+        from repro.core.program import lower
+
+        program = lower(_micro_model(), TEST_FBS)
+        service = AthenaService([Tenant("a", TEST_LOOP)])
+        with pytest.raises(ParameterError):
+            service.register_model("micro", program)
+
+    def test_submit_requires_started_service(self):
+        service = AthenaService([Tenant("a", TEST_FBS)])
+        with pytest.raises(ParameterError):
+            service.submit_nowait("a", "micro", np.zeros((1, 4, 4)))
+
+
+# -- full-stack, real ciphertexts --------------------------------------------
+
+
+@pytest.mark.slow
+class TestServiceEndToEnd:
+    def test_outputs_bit_identical_to_direct_sessions(self):
+        """The headline guarantee: the service adds layers, not noise."""
+        qm = _micro_model()
+        rng = np.random.default_rng(11)
+        # bob pins the serial dispatch backend; alice inherits the default.
+        # Backend selection is per-runtime and context-local, so the pin
+        # must never leak into alice's runs (asserted below), and since
+        # backends are bit-identical it must not change bob's outputs.
+        tenants = [
+            Tenant("alice", TEST_FBS, seed=7),
+            Tenant("bob", TEST_FBS, seed=8, backend="serial"),
+        ]
+        service = AthenaService(
+            tenants, exec_config=ExecConfig("serial"), queue_capacity=4
+        )
+        service.register_model("micro", qm)
+        batch = [
+            ("alice", "micro", _micro_input(rng)),
+            ("bob", "micro", _micro_input(rng)),
+            ("alice", "micro", _micro_input(rng)),
+            ("bob", "micro", _micro_input(rng)),
+        ]
+        outputs = service.serve_batch(batch)
+
+        # Replay each tenant's request stream through a direct session with
+        # the same seed: same keys, same encryption-randomness stream, so
+        # the service path must reproduce every output bit for bit.
+        alice_rt = service.pool.runtime_for(("alice", "micro"))
+        bob_rt = service.pool.runtime_for(("bob", "micro"))
+        assert alice_rt.backend is None  # bob's pin stayed bob's
+        assert bob_rt.backend.name == "serial"
+
+        for tenant in tenants:
+            session = InferenceSession(
+                qm, TEST_FBS, seed=tenant.seed, backend=tenant.backend
+            )
+            for out, (tid, _, x_q) in zip(outputs, batch):
+                if tid != tenant.tenant_id:
+                    continue
+                direct = session.run(x_q)
+                assert np.array_equal(out, direct)
+                want = qm.forward_int(x_q[None])[0]
+                assert np.abs(direct - want).max() <= 2
+            # Satellite guarantee: per-request latency percentiles exist.
+            stats = session.stats()
+            assert stats["requests"] == 2
+            assert 0 < stats["run_p50_s"] <= stats["run_p99_s"]
+            assert len(session.latencies) == 2
+
+        stats = service.stats()
+        assert stats["tenants"]["alice"]["requests"] == 2
+        assert stats["tenants"]["bob"]["requests"] == 2
+        assert stats["scheduler"]["rejected"] == 0
+        # Both tenants run the same model under the same params: one
+        # compile, one shared plan.
+        assert stats["plan_cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+    def test_queue_full_sheds_against_live_service(self):
+        qm = _micro_model()
+        rng = np.random.default_rng(13)
+        service = AthenaService(
+            [Tenant("a", TEST_FBS, seed=1)],
+            exec_config=ExecConfig("thread", 1),
+            queue_capacity=1,
+        )
+        service.register_model("micro", qm)
+
+        async def scenario():
+            await service.start()
+            try:
+                accepted = [service.submit_nowait("a", "micro", _micro_input(rng))]
+                shed = 0
+                for _ in range(3):
+                    try:
+                        accepted.append(
+                            service.submit_nowait("a", "micro", _micro_input(rng))
+                        )
+                    except ServiceOverloaded:
+                        shed += 1
+                outs = await asyncio.gather(*accepted)
+                return shed, outs
+            finally:
+                await service.stop()
+
+        shed, outs = asyncio.run(scenario())
+        # All submits land synchronously before the dispatcher runs: the
+        # first fills the depth-1 queue, the rest are shed at admission.
+        assert shed == 3 and len(outs) == 1
+        assert service.scheduler.stats()["rejected"] == 3
+
+    def test_process_pool_answers_warm(self):
+        qm = _micro_model()
+        rng = np.random.default_rng(17)
+        service = AthenaService(
+            [Tenant("a", TEST_FBS, seed=1), Tenant("b", TEST_FBS, seed=2)],
+            exec_config=ExecConfig("process", 2),
+            queue_capacity=2,
+        )
+        service.register_model("micro", qm)
+        x_a, x_b = _micro_input(rng), _micro_input(rng)
+        out_a, out_b = service.serve_batch(
+            [("a", "micro", x_a), ("b", "micro", x_b)]
+        )
+        # Process workers derive the same keys from the tenant seeds, so
+        # outputs match fresh same-seed sessions in the parent exactly.
+        assert np.array_equal(out_a, InferenceSession(qm, TEST_FBS, seed=1).run(x_a))
+        assert np.array_equal(out_b, InferenceSession(qm, TEST_FBS, seed=2).run(x_b))
+        # Runtimes live in the worker processes, not the parent.
+        with pytest.raises(ParameterError):
+            service.pool.runtime_for(("a", "micro"))
