@@ -4,16 +4,31 @@ Thin wrapper over :mod:`repro.serve.loadgen` (the importable implementation
 behind the ``repro loadgen`` CLI command) so the serving benchmark runs with
 the rest of the ``benchmarks/`` suite and leaves a ``BENCH_serve.json``
 artifact next to the other regenerated outputs. Pins the acceptance gates:
-the multi-worker configuration must sustain strictly higher requests/sec
-than the single-worker one on the identical workload (the transport window
-of one request overlapping another's compute), and the warm phase — every
-configuration after the first, sharing the first's plan cache — must show a
-positive plan-cache hit rate.
+
+* **worker overlap** — the multi-worker configuration must sustain strictly
+  higher requests/sec than the single-worker one on the identical workload
+  (the transport window of one request overlapping another's compute);
+* **batching amortization** — on the lane-packing subject, the batched
+  configuration must sustain strictly higher requests/sec than the
+  unbatched one at *equal* worker count, with batch occupancy above 1 (a
+  k-lane batch pays one transport window and one fused execution);
+* **cache warmth** — the warm phase (every configuration after the first,
+  sharing the first's plan cache) must show a positive hit rate.
 """
 
 import json
 
 from repro.serve.loadgen import SERVE_SCHEMA, run_loadgen
+
+
+def _check_schema(records, model):
+    for record in records:
+        assert all(key in record for key in SERVE_SCHEMA)
+        assert record["model"] == model
+        assert record["tenants"] >= 2
+        assert record["requests_per_s"] > 0
+        assert 0 < record["latency_p50_s"] <= record["latency_p99_s"]
+        assert sum(record["per_tenant"].values()) == record["requests"]
 
 
 def test_bench_serve(once, tmp_path):
@@ -34,13 +49,7 @@ def test_bench_serve(once, tmp_path):
     )
     print("\n" + json.dumps(records, indent=2))
     assert [r["phase"] for r in records] == ["cold", "warm"]
-    for record in records:
-        assert all(key in record for key in SERVE_SCHEMA)
-        assert record["model"] == "mnist_cnn"
-        assert record["tenants"] >= 2
-        assert record["requests_per_s"] > 0
-        assert 0 < record["latency_p50_s"] <= record["latency_p99_s"]
-        assert sum(record["per_tenant"].values()) == record["requests"]
+    _check_schema(records, "mnist_cnn")
     single, multi = records
     assert single["workers"] == 1 and multi["workers"] == 2
     # Multi-worker wins on the identical workload: while one slot holds a
@@ -52,3 +61,36 @@ def test_bench_serve(once, tmp_path):
     assert single["plan_cache"]["misses"] >= 1
     assert multi["plan_cache"]["misses"] == 0
     assert multi["plan_cache"]["hit_rate"] > 0
+
+
+def test_bench_serve_batching(once, tmp_path):
+    out = tmp_path / "BENCH_serve_batching.json"
+    records = once(
+        run_loadgen,
+        out=str(out),
+        model="pack",  # batch_capacity == 2 at TEST_FBS
+        tenants=2,
+        requests=4,
+        worker_counts=(2,),
+        mode="thread",
+        # Shared keys put both tenants in one key domain, so the round-robin
+        # workload packs cross-tenant batches; the wide transport window is
+        # the cost a batch pays once instead of per request.
+        shared_keys=True,
+        transport_s=3.0,
+        batching="both",
+        batch_window_s=1.0,
+    )
+    print("\n" + json.dumps(records, indent=2))
+    _check_schema(records, "pack")
+    unbatched, batched = records
+    assert unbatched["workers"] == batched["workers"] == 2
+    assert unbatched["batching"] is False and batched["batching"] is True
+    assert unbatched["batch_occupancy"] == 1.0
+    assert batched["batch_capacity"] == 2
+    # The headline gate: at equal worker count, lane packing alone must buy
+    # throughput — a 2-lane batch pays one transport window and one fused
+    # pipeline execution for two requests.
+    assert batched["batch_occupancy"] > 1
+    assert batched["batches"] < batched["requests"]
+    assert batched["requests_per_s"] > unbatched["requests_per_s"]

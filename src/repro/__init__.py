@@ -28,6 +28,8 @@ _EXPORTS = {
     "CompiledProgram": ("repro.core.plan", "CompiledProgram"),
     "ExecConfig": ("repro.perf", "ExecConfig"),
     "FbsLut": ("repro.fhe.fbs", "FbsLut"),
+    "InferenceRequest": ("repro.serve", "InferenceRequest"),
+    "InferenceResult": ("repro.serve", "InferenceResult"),
     "InferenceSession": ("repro.serve", "InferenceSession"),
     "ParallelMap": ("repro.perf", "ParallelMap"),
     "PerfRecorder": ("repro.perf", "PerfRecorder"),

@@ -222,11 +222,12 @@ def _infer_with_plan(args: argparse.Namespace) -> int:
         got = session.run(x_q)
         want = qm.forward_int(x_q[None])[0]
         max_err = max(max_err, int(np.abs(got - want).max()))
-    stats = session.stats()
+    stats = session.stats().to_dict()
     text = (
-        f"{stats['model']} @ {params.name}, {stats['requests']} warm requests\n"
-        f"  compile_s (bind)   : {stats['compile_s']:.4f}s\n"
-        f"  mean run_s         : {stats['mean_run_s']:.3f}s\n"
+        f"{stats['detail']['model']} @ {params.name}, "
+        f"{stats['requests']} warm requests\n"
+        f"  compile_s (bind)   : {stats['timings']['compile_s']:.4f}s\n"
+        f"  mean run_s         : {stats['timings']['mean_run_s']:.3f}s\n"
         f"  max |cipher-plain| : {max_err}\n"
     )
     payload = {**stats, "params": params.name, "max_abs_error": max_err}
@@ -358,12 +359,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.fhe.params import TEST_FBS
     from repro.perf import ExecConfig
-    from repro.serve import AthenaService, Tenant
-    from repro.serve.loadgen import serve_micro_cnn
+    from repro.serve import AthenaService, InferenceRequest, Tenant
+    from repro.serve.loadgen import pack_cnn, serve_micro_cnn
 
-    qm = serve_micro_cnn(np.random.default_rng(5))
+    builder = pack_cnn if args.model == "pack" else serve_micro_cnn
+    qm = builder(np.random.default_rng(5))
+    shared = args.shared_keys
     tenants = [
-        Tenant(f"tenant{i}", TEST_FBS, seed=args.seed + i)
+        Tenant(f"tenant{i}", TEST_FBS,
+               seed=args.seed if shared else args.seed + i)
         for i in range(args.tenants)
     ]
     service = AthenaService(
@@ -371,32 +375,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         exec_config=ExecConfig(args.mode, args.workers),
         queue_capacity=max(1, -(-args.requests // args.tenants)),
         transport_s=args.transport_ms / 1000.0,
+        batching=not args.no_batching,
+        batch_window_s=args.batch_window_ms / 1000.0,
     )
-    fingerprint = service.register_model("serve_micro", qm)
+    fingerprint = service.register_model(qm.name, qm)
     rng = np.random.default_rng(args.seed + 7)
     cin, h, w = qm.input_shape
     batch = [
-        (
-            tenants[i % args.tenants].tenant_id,
-            "serve_micro",
-            rng.integers(-2, 3, (cin, h, w)).astype(np.int64),
+        InferenceRequest(
+            tenant_id=tenants[i % args.tenants].tenant_id,
+            model=qm.name,
+            x_q=rng.integers(-2, 3, (cin, h, w)).astype(np.int64),
         )
         for i in range(args.requests)
     ]
-    outputs = service.serve_batch(batch)
-    stats = service.stats()
-    sched = stats["scheduler"]
+    results = service.serve_batch(batch)
+    stats = service.stats().to_dict()
+    sched = stats["detail"]["scheduler"]["counters"]
+    batcher = stats["detail"]["batcher"]
+    occupancy = batcher["detail"]["occupancy_mean"]
     lines = [
-        f"serve_micro @ {TEST_FBS.name} ({fingerprint[:16]}), "
-        f"{len(outputs)} requests, {args.tenants} tenants, "
+        f"{qm.name} @ {TEST_FBS.name} ({fingerprint[:16]}), "
+        f"{len(results)} requests, {args.tenants} tenants, "
         f"{args.workers} {args.mode} worker(s)",
         f"  scheduler : accepted {sched['accepted']}, "
         f"rejected {sched['rejected']}, "
         f"peak queue depth {sched['queue_depth_max']}",
-        f"  plan cache: {stats['plan_cache']['hits']} hits / "
-        f"{stats['plan_cache']['misses']} misses",
+        f"  batching  : {batcher['counters']['batches']} batches, "
+        f"mean occupancy "
+        f"{'n/a' if occupancy is None else format(occupancy, '.2f')}",
+        f"  plan cache: {stats['detail']['plan_cache']['hits']} hits / "
+        f"{stats['detail']['plan_cache']['misses']} misses",
     ]
-    for tid, trec in sorted(stats["tenants"].items()):
+    for tid, trec in sorted(stats["detail"]["tenants"].items()):
         lines.append(
             f"  {tid:<10}: {trec['requests']} answered, "
             f"key material {trec['key_material_mb']} MiB"
@@ -411,10 +422,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     model = args.model
     requests = args.requests
     if args.quick:
-        # Keep the default transport window: on the micro model it is the
+        # Keep the default transport window: on the small models it is the
         # dominant per-request cost, which is exactly what lets the
-        # multi-worker configuration overlap and win even in smoke runs.
-        model = "micro"
+        # multi-worker configuration overlap (and the batched one amortize)
+        # and win even in smoke runs.
+        if model == "mnist_cnn":
+            model = "micro" if args.batching == "off" else "pack"
         requests = min(requests, 4)
     out = args.out if args.out else BENCH_SERVE_FILENAME
     workers = tuple(int(w) for w in args.workers.split(","))
@@ -429,14 +442,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         warmup=args.warmup,
         cache_dir=args.cache_dir,
+        batching=args.batching,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        shared_keys=args.shared_keys,
     )
     lines = [f"wrote {out}"]
     for r in records:
         hit_rate = r["plan_cache"]["hit_rate"]
         hit = "n/a" if hit_rate is None else f"{hit_rate:.2f}"
+        occ = r["batch_occupancy"]
+        batched = (
+            f"batched x{occ:.2f}" if r["batching"] and occ else "unbatched"
+        )
         lines.append(
-            f"  {r['model']} [{r['phase']}] {r['workers']}x{r['mode']}: "
-            f"{r['requests_per_s']:.3f} req/s, "
+            f"  {r['model']} [{r['phase']}] {r['workers']}x{r['mode']} "
+            f"{batched}: {r['requests_per_s']:.3f} req/s, "
             f"p50 {r['latency_p50_s']:.3f}s, p99 {r['latency_p99_s']:.3f}s, "
             f"cache hit rate {hit}"
         )
@@ -528,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", parents=[seed, output],
                        help="multi-tenant serving demo (in-process)")
+    p.add_argument("--model", default="serve_micro",
+                   choices=["serve_micro", "pack"],
+                   help="demo model; 'pack' has batch_capacity 2 "
+                        "(default: serve_micro)")
     p.add_argument("--tenants", type=int, default=2,
                    help="number of tenants (default: 2)")
     p.add_argument("--requests", type=int, default=4,
@@ -538,7 +562,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "thread", "process"],
                    help="worker executor mode (default: serial)")
     p.add_argument("--transport-ms", type=float, default=0.0,
-                   help="per-request ciphertext transport window, ms")
+                   help="per-batch ciphertext transport window, ms")
+    p.add_argument("--no-batching", action="store_true",
+                   help="disable cross-request ciphertext batching")
+    p.add_argument("--batch-window-ms", type=float, default=50.0,
+                   help="max wait for batch co-riders, ms (default: 50)")
+    p.add_argument("--shared-keys", action="store_true",
+                   help="give every tenant the same keygen seed (one key "
+                        "domain: enables cross-tenant batching)")
     p.set_defaults(func=_cmd_serve, seed=41)
 
     p = sub.add_parser("loadgen", parents=[seed, output],
@@ -546,8 +577,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: micro model, few requests")
     p.add_argument("--model", default="mnist_cnn",
-                   choices=["mnist_cnn", "micro"],
-                   help="serving subject (default: mnist_cnn)")
+                   choices=["mnist_cnn", "micro", "pack"],
+                   help="serving subject (default: mnist_cnn; 'pack' is "
+                        "the batchable one)")
     p.add_argument("--tenants", type=int, default=2,
                    help="number of tenants (default: 2)")
     p.add_argument("--requests", type=int, default=6,
@@ -559,12 +591,21 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "thread", "process"],
                    help="worker executor mode (default: thread)")
     p.add_argument("--transport-ms", type=float, default=1500.0,
-                   help="per-request ciphertext transport window, ms "
+                   help="per-batch ciphertext transport window, ms "
                         "(default: 1500)")
     p.add_argument("--warmup", type=int, default=1,
                    help="untimed warmup requests per tenant (default: 1)")
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="disk-backed plan cache directory (default: memory)")
+    p.add_argument("--batching", default="on",
+                   choices=["on", "off", "both"],
+                   help="cross-request batching; 'both' runs every worker "
+                        "count unbatched then batched (default: on)")
+    p.add_argument("--batch-window-ms", type=float, default=250.0,
+                   help="max wait for batch co-riders, ms (default: 250)")
+    p.add_argument("--shared-keys", action="store_true",
+                   help="same keygen seed for all tenants (one key domain: "
+                        "enables cross-tenant batching)")
     p.set_defaults(func=_cmd_loadgen, seed=41)
 
     p = sub.add_parser("ablation", help="accelerator design ablations")

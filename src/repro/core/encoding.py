@@ -125,6 +125,22 @@ def conv_via_coefficients(
     return extract_conv_outputs(product, cout, cin, h, w, wk, stride)
 
 
+def lane_span(cout: int, cin: int, h: int, w: int, wk: int) -> int:
+    """Coefficient span of one image's Eq. 1 workspace (kernel + input).
+
+    The kernel support tops out at ``t_index`` and the feature polynomial at
+    ``cin*h*w - 1``, so the product M_hat * K_hat has support strictly below
+    ``t_index + cin*h*w``. Independent images packed at this stride in one
+    ciphertext therefore never mix: a lower lane's products stay below the
+    next lane's offset, and a higher lane's would need a negative monomial
+    degree. ``h``/``w`` are the padded input sizes; an FC layer is the
+    ``h = w = wk = 1`` case.
+    """
+    hw = h * w
+    t_index = hw * (cout * cin - 1) + w * (wk - 1) + wk - 1
+    return t_index + cin * hw
+
+
 def valid_output_positions(
     cout: int, cin: int, h: int, w: int, wk: int, stride: int
 ) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.encoding import encode_features
 from repro.core.plan import CompiledLinear, CompiledProgram, TilePlan, compile_program
+from repro.fhe.slots import pack_lane_coeffs
 from repro.core.program import (
     AthenaProgram,
     LinearStep,
@@ -283,6 +284,43 @@ class AthenaPipeline:
         t = self.params.t
         return np.where(vals > t // 2, vals - t, vals)
 
+    def run_batch(
+        self,
+        program: AthenaProgram,
+        xs: list[np.ndarray],
+        cost: LoopCost | None = None,
+        pmap: ParallelMap | None = None,
+        plan: CompiledProgram | None = None,
+    ) -> list[np.ndarray]:
+        """Run ``len(xs)`` independent inputs through *one* fused execution.
+
+        The inputs are packed into a single ciphertext at the plan's lane
+        stride (see :class:`repro.core.plan.LaneLayout`), so the whole batch
+        pays for one PMult, one refresh chain, one pack + FBS, and one S2C
+        per layer — the amortization Eq. 1's spare coefficient space buys.
+        Lane count is bounded by ``plan.batch_capacity``. With one input
+        this degenerates to exactly the :meth:`run_program` op sequence.
+        Returns the centered integer outputs, one array per input, in order.
+        """
+        xs = [np.asarray(x, dtype=np.int64) for x in xs]
+        if not xs:
+            return []
+        span = self.perf.run() if self.perf is not None else nullcontext()
+        with self._dispatch():
+            with span:
+                ex = CiphertextExecutor(
+                    self, program, cost, pmap=pmap, plan=plan, lanes=len(xs)
+                )
+                value = xs[0] if len(xs) == 1 else np.stack(xs)
+                ct = _run_steps(program, ex, value)
+            raw = self.decrypt_coeffs(ct) if ex.tail_s2c else self.decrypt_slots(ct)
+        t = self.params.t
+        outs = []
+        for d in range(len(xs)):
+            vals = raw[d * ex.lane_stride : d * ex.lane_stride + ex.out_count]
+            outs.append(np.where(vals > t // 2, vals - t, vals))
+        return outs
+
 
 class CiphertextExecutor(ProgramExecutor):
     """Thin interpreter: replays compile-time plans with ciphertext ops.
@@ -326,9 +364,12 @@ class CiphertextExecutor(ProgramExecutor):
         chunk: int | None = None,
         pmap: ParallelMap | None = None,
         plan: CompiledProgram | None = None,
+        lanes: int = 1,
     ):
         if chunk is not None and chunk < 1:
             raise ParameterError(f"chunk cap must be >= 1, got {chunk}")
+        if lanes < 1:
+            raise ParameterError(f"need at least one lane, got {lanes}")
         self.pipe = pipe
         self.program = program
         self.cost = cost
@@ -343,12 +384,26 @@ class CiphertextExecutor(ProgramExecutor):
                     f"requested {chunk}"
                 )
             plan.bind(program, pipe.params)
+        if lanes > 1:
+            if plan.chunk is not None:
+                raise ParameterError(
+                    "lane batching requires an unchunked plan (chunked tiles "
+                    "already consume the spare coefficient space)"
+                )
+            if lanes > plan.batch_capacity:
+                raise ParameterError(
+                    f"{lanes} lanes exceed the plan's batch capacity "
+                    f"{plan.batch_capacity}"
+                )
         self.plan = plan
         self.chunk = plan.chunk
+        self.lanes = lanes
         #: Satellite of the plan split: steps resolve to artifacts by their
         #: *index* in the program (``id()`` keys broke across re-lowering).
         self._step_index = {id(s): i for i, s in enumerate(program.steps)}
         self.out_count = 0
+        #: Coefficient/slot distance between consecutive lanes' outputs.
+        self.lane_stride = 0
         self.tail_s2c = True
 
     def _compiled(self, step) -> CompiledLinear:
@@ -364,13 +419,19 @@ class CiphertextExecutor(ProgramExecutor):
             )
         cstep = self._compiled(step)
         n = params.n
+        layout = (
+            cstep.lane_layout(self.lanes, params) if self.lanes > 1 else None
+        )
         if step.op == "conv":
             cin, h, w = layer.in_shape
             if isinstance(value, np.ndarray):
-                m = value.reshape(cin, h, w)
+                imgs = value.reshape(self.lanes, cin, h, w)
                 if layer.pad:
-                    m = np.pad(m, ((0, 0), (layer.pad,) * 2, (layer.pad,) * 2))
-                ct = pipe.encrypt_coeffs(encode_features(m, n))
+                    imgs = np.pad(
+                        imgs,
+                        ((0, 0), (0, 0), (layer.pad,) * 2, (layer.pad,) * 2),
+                    )
+                ct = pipe.encrypt_coeffs(self._encode_lanes(imgs, layout, n))
             else:
                 if layer.pad:
                     raise ParameterError(
@@ -380,21 +441,42 @@ class CiphertextExecutor(ProgramExecutor):
                 ct = value
         else:
             if isinstance(value, np.ndarray):
-                feat = value.reshape(layer.in_features, 1, 1)
-                ct = pipe.encrypt_coeffs(encode_features(feat, n))
+                feats = value.reshape(self.lanes, layer.in_features, 1, 1)
+                ct = pipe.encrypt_coeffs(self._encode_lanes(feats, layout, n))
             else:
                 ct = value
         out = pipe.linear(ct, cstep.kernel, self.cost)
-        if cstep.bias is not None:
+        bias = layout.bias if layout is not None else cstep.bias
+        if bias is not None:
             with pipe._dispatch(), current_backend().phase("linear"):
-                out = pipe.ctx.add_plain(out, cstep.bias)
+                out = pipe.ctx.add_plain(out, bias)
         self.out_count = cstep.out_count
         if cstep.tiles is None:
-            batch = pipe.refresh_to_lwe(out, cstep.positions, self.cost)
+            positions = (
+                layout.positions if layout is not None else cstep.positions
+            )
+            batch = pipe.refresh_to_lwe(out, positions, self.cost)
+            if layout is not None:
+                # Spread the lanes' samples to the chained pack rows; the
+                # gap rows are trivial zero encryptions (exact zeros).
+                batch = batch.place(layout.pack_map, layout.pack_rows)
+            self.lane_stride = (
+                layout.out_stride if layout is not None else cstep.out_count
+            )
             boot = pipe.bootstrap(batch, cstep.lut, self.cost, plan=cstep.fbs)
             self.tail_s2c = step.s2c
             return pipe.to_coeffs(boot, plan=self.plan.s2c) if step.s2c else boot
         return self._chunked_rounds(out, cstep)
+
+    def _encode_lanes(self, blocks_chw: np.ndarray, layout, n: int):
+        """Client-side encode: one image, or ``lanes`` images at lane stride."""
+        if layout is None:
+            return encode_features(blocks_chw[0], n)
+        return pack_lane_coeffs(
+            [encode_features(m, n)[: layout.in_stride] for m in blocks_chw],
+            layout.in_stride,
+            n,
+        )
 
     # -- chunked refresh: independent tiles + exact shift-merge --------------
 
@@ -424,6 +506,7 @@ class CiphertextExecutor(ProgramExecutor):
                 if self.cost is not None and cost_k is not None:
                     self.cost.merge(cost_k)
         self.tail_s2c = True
+        self.lane_stride = cstep.out_count
         return merged
 
     def _tile_round(

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.encoding import encode_kernels
+from repro.core.encoding import encode_kernels, lane_span
 from repro.core.program import AthenaProgram, LinearStep
 from repro.errors import ParameterError
 from repro.fhe.backend import current_backend
@@ -42,11 +42,13 @@ from repro.fhe.fbs import FbsLut, FbsPlan
 from repro.fhe.params import FheParams
 from repro.fhe.s2c import S2CPlan
 from repro.fhe.serialize import params_fingerprint
+from repro.fhe.slots import lane_positions
 
 __all__ = [
     "CompiledLinear",
     "CompiledOpaque",
     "CompiledProgram",
+    "LaneLayout",
     "TilePlan",
     "compile_program",
     "program_fingerprint",
@@ -107,6 +109,33 @@ class TilePlan:
     correction: Plaintext | None
 
 
+@dataclass(frozen=True)
+class LaneLayout:
+    """Per-batch-size geometry of one linear round carrying ``lanes`` images.
+
+    Lane ``d``'s input block sits at coefficient offset ``d * in_stride``
+    (``in_stride`` = the step's :attr:`CompiledLinear.lane_span`), its MAC
+    outputs at ``positions`` rows ``d*out_count .. (d+1)*out_count - 1``, and
+    its refreshed LWE samples land at pack rows ``d * out_stride + i`` —
+    spaced so that after S2C each lane's coefficients are exactly where the
+    *next* layer's lane ``d`` expects its input (``out_stride`` = the next
+    step's lane span; the tail packs compactly at ``out_stride = out_count``).
+    Gap rows are trivial zero encryptions, exact zeros end to end.
+    """
+
+    lanes: int
+    in_stride: int
+    out_stride: int
+    #: All lanes' extraction positions, lane-major (lanes * out_count).
+    positions: np.ndarray
+    #: Height of the zero-padded LWE batch handed to packing.
+    pack_rows: int
+    #: Target pack row of each extracted sample (aligned with ``positions``).
+    pack_map: np.ndarray
+    #: Bias replicated into every lane (``None`` when the bias is zero).
+    bias: Plaintext | None
+
+
 @dataclass
 class CompiledLinear:
     """All request-invariant artifacts of one conv/FC five-step round."""
@@ -129,6 +158,57 @@ class CompiledLinear:
     fbs: FbsPlan = None
     #: Chunked refresh layout; ``None`` when the round runs as one tile.
     tiles: tuple[TilePlan, ...] | None = None
+    #: Coefficient span of one image through this round (Eq. 1 workspace).
+    lane_span: int = 0
+    #: Pack-row stride between lanes' outputs (annotated by the lane chain).
+    lane_out_stride: int = 0
+    #: Lazily built per-batch-size layouts, keyed by lane count.
+    _lane_layouts: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+
+    def lane_layout(self, lanes: int, params: FheParams) -> LaneLayout:
+        """Build (and cache) the geometry for a ``lanes``-image batch."""
+        cached = self._lane_layouts.get(lanes)
+        if cached is not None:
+            return cached
+        if lanes < 1:
+            raise ParameterError(f"need at least one lane, got {lanes}")
+        if self.tiles is not None:
+            raise ParameterError("chunked rounds do not support lane batching")
+        if self.lane_span <= 0 or self.lane_out_stride <= 0:
+            raise ParameterError(
+                f"step {self.name!r} carries no lane geometry (stale plan?)")
+        n = params.n
+        if lanes * self.lane_span > n:
+            raise ParameterError(
+                f"{lanes} lanes of span {self.lane_span} exceed n={n}")
+        positions = lane_positions(self.positions, self.lane_span, lanes, n)
+        pack_rows = (lanes - 1) * self.lane_out_stride + self.out_count
+        if pack_rows > n:
+            raise ParameterError(
+                f"{lanes} output lanes need {pack_rows} pack rows, have {n}")
+        pack_map = lane_positions(
+            np.arange(self.out_count, dtype=np.int64),
+            self.lane_out_stride, lanes, n)
+        bias = None
+        if self.bias is not None:
+            coeffs = np.zeros(n, dtype=np.int64)
+            for d in range(lanes):
+                coeffs[self.positions + d * self.lane_span] = \
+                    self.bias.coeffs[self.positions]
+            bias = Plaintext.from_coeffs(coeffs, params)
+            bias.add_operand()
+        layout = LaneLayout(
+            lanes=lanes,
+            in_stride=self.lane_span,
+            out_stride=self.lane_out_stride,
+            positions=positions,
+            pack_rows=pack_rows,
+            pack_map=pack_map,
+            bias=bias,
+        )
+        self._lane_layouts[lanes] = layout
+        return layout
 
 
 @dataclass(frozen=True)
@@ -159,6 +239,11 @@ class CompiledProgram:
     s2c: S2CPlan
     model_hash: str
     name: str = "model"
+    #: Images one ciphertext can carry through the whole program (>= 1).
+    #: 1 means single-image only — chunked plans, non-reshape opaque steps,
+    #: and LUTs with LUT(0) != 0 (whose dead slots are not exact zeros)
+    #: all disable lane batching.
+    batch_capacity: int = 1
 
     def bind(self, program: AthenaProgram, params: FheParams) -> None:
         """Validate that this plan matches ``program`` under ``params``."""
@@ -176,6 +261,38 @@ class CompiledProgram:
                     f"plan step {cstep.index} is {want!r}, "
                     f"program has {step.kind!r}"
                 )
+
+
+def _annotate_lanes(steps: list, params: FheParams, chunk: int | None) -> int:
+    """Chain lane geometry across the linear steps; return the batch capacity.
+
+    Each interior layer's lanes must exit at the *next* layer's input stride
+    (its lane span) so that S2C drops lane ``d``'s outputs exactly where lane
+    ``d``'s next input block begins; the tail packs lanes compactly. Capacity
+    is the ring-size bound ``min_j n // lane_span_j`` (and ``n // out_count``
+    for the compact tail). The chain is re-derived after deserialization, so
+    a loaded plan batches identically to a freshly compiled one.
+    """
+    linears = [s for s in steps if isinstance(s, CompiledLinear)]
+    if not linears:
+        return 1
+    for cur, nxt in zip(linears, linears[1:]):
+        cur.lane_out_stride = nxt.lane_span
+    tail = linears[-1]
+    tail.lane_out_stride = tail.out_count
+    if chunk is not None:
+        return 1
+    capacity = params.n
+    for step in steps:
+        if isinstance(step, CompiledLinear):
+            if step.tiles is not None or int(step.lut.values[0]) != 0:
+                return 1
+            capacity = min(capacity, params.n // max(1, step.lane_span))
+        elif step.kind != "reshape":
+            # Steps the ciphertext executor cannot run anyway.
+            return 1
+    capacity = min(capacity, params.n // max(1, tail.out_count))
+    return max(1, capacity)
 
 
 def _build_tiles(
@@ -211,9 +328,11 @@ def _compile_linear(
         cin, h, w = layer.in_shape
         hp, wp = h + 2 * layer.pad, w + 2 * layer.pad
         kernel_coeffs = encode_kernels(layer.weight, hp, wp, n)
+        span = lane_span(layer.weight.shape[0], cin, hp, wp, layer.weight.shape[-1])
     else:
         # An FC layer is the Wk = H = W = 1 case of the Eq. 1 encoding.
         kernel_coeffs = encode_kernels(layer.weight[:, :, None, None], 1, 1, n)
+        span = lane_span(layer.weight.shape[0], layer.weight.shape[1], 1, 1, 1)
     kernel = Plaintext.from_coeffs(kernel_coeffs, params)
     kernel.pmult_operand()
 
@@ -243,6 +362,7 @@ def _compile_linear(
         lut=lut,
         fbs=fbs,
         tiles=_build_tiles(positions, lut, params, chunk),
+        lane_span=span,
     )
 
 
@@ -272,6 +392,7 @@ def compile_program(
                 steps.append(_compile_linear(step, i, program, params, chunk))
             else:
                 steps.append(CompiledOpaque(i, step.name, step.kind))
+        capacity = _annotate_lanes(steps, params, chunk)
         return CompiledProgram(
             steps=steps,
             params=params,
@@ -279,4 +400,5 @@ def compile_program(
             s2c=S2CPlan.build(params),
             model_hash=program_fingerprint(program),
             name=program.name,
+            batch_capacity=capacity,
         )

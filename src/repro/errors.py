@@ -37,4 +37,23 @@ class ServiceOverloaded(ReproError):
 
     Raised synchronously at admission time (never after a request has been
     queued), so a rejected caller knows no work was started and may retry
-    with backoff against a less loaded deployment."""
+    with backoff against a less loaded deployment. The payload carries the
+    shedding tenant's live queue occupancy so clients can back off
+    proportionally instead of blind-retrying: ``tenant_id``, ``depth``
+    (requests pending for that tenant when shed), and ``capacity`` (the
+    per-tenant bound). All three are ``None`` when the shed is not
+    queue-related (e.g. the scheduler is closed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant_id: str | None = None,
+        depth: int | None = None,
+        capacity: int | None = None,
+    ):
+        super().__init__(message)
+        self.tenant_id = tenant_id
+        self.depth = depth
+        self.capacity = capacity

@@ -70,6 +70,28 @@ class LweBatch:
         acc = (self.a * secret[None, :]) % self.modulus
         return (acc.sum(axis=1) + self.b) % self.modulus
 
+    def place(self, rows: np.ndarray, size: int) -> "LweBatch":
+        """Scatter this batch's rows into a larger batch at indices ``rows``.
+
+        The remaining rows are trivial encryptions of zero (a = 0, b = 0),
+        whose phase is exactly 0 under any secret — after packing they become
+        exact zero slots, the gap filler between output lanes of a batched
+        linear layer.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape != (self.count,):
+            raise ParameterError(
+                f"need one target row per ciphertext: {rows.shape} vs {self.count}")
+        if size < self.count or (rows.size and int(rows.max()) >= size):
+            raise ParameterError(f"target rows do not fit in a batch of {size}")
+        if np.unique(rows).size != rows.size:
+            raise ParameterError("target rows collide")
+        a = np.zeros((size, self.dim), dtype=np.int64)
+        b = np.zeros(size, dtype=np.int64)
+        a[rows] = self.a
+        b[rows] = self.b
+        return LweBatch(a, b, self.modulus)
+
 
 def rlwe_mod_switch(ct: BfvCiphertext, new_modulus: int) -> SmallRlwe:
     """Scale-and-round both components of a BFV ciphertext to ``new_modulus``.

@@ -29,7 +29,10 @@ from repro.fhe.poly import RnsPoly
 from repro.fhe.s2c import S2CPlan
 
 _MAGIC = 0x41544E41  # "ATNA"
-_VERSION = 1
+# v2: compiled-plan linear steps carry their lane span (multi-image batching
+# geometry). v1 artifacts are rejected; the plan cache recompiles on load
+# failure, so stale caches self-heal.
+_VERSION = 2
 
 KIND_CIPHERTEXT = 1
 KIND_LWE_BATCH = 2
@@ -173,6 +176,7 @@ def dump_plan(plan) -> bytes:
         _write_str(buf, cstep.lut.name)
         _write_array(buf, cstep.lut.values)
         _write_array(buf, cstep.lut.coeffs)
+        buf.write(struct.pack("<Q", cstep.lane_span))
     return buf.getvalue()
 
 
@@ -187,6 +191,7 @@ def load_plan(raw: bytes, params: FheParams):
         CompiledLinear,
         CompiledOpaque,
         CompiledProgram,
+        _annotate_lanes,
         _build_tiles,
     )
 
@@ -219,6 +224,7 @@ def load_plan(raw: bytes, params: FheParams):
         coeffs = _read_array(buf)
         register_interpolation(values, params.t, coeffs)
         lut = FbsLut(values, params.t, lut_name)
+        (span,) = struct.unpack("<Q", buf.read(8))
         steps.append(
             CompiledLinear(
                 index=index,
@@ -232,8 +238,12 @@ def load_plan(raw: bytes, params: FheParams):
                 lut=lut,
                 fbs=FbsPlan.from_lut(lut).materialize(params),
                 tiles=_build_tiles(positions, lut, params, chunk),
+                lane_span=int(span),
             )
         )
+    # Lane chaining (out strides + batch capacity) is a pure function of the
+    # spans and the parameter set — re-derived rather than shipped.
+    capacity = _annotate_lanes(steps, params, chunk)
     return CompiledProgram(
         steps=steps,
         params=params,
@@ -241,6 +251,7 @@ def load_plan(raw: bytes, params: FheParams):
         s2c=S2CPlan.build(params),
         model_hash=model_hash,
         name=name,
+        batch_capacity=capacity,
     )
 
 

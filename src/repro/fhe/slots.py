@@ -71,6 +71,86 @@ def slot_decode(coeffs: np.ndarray, n: int, t: int) -> np.ndarray:
     return ntt_forward(np.asarray(coeffs, dtype=np.int64).copy(), t)[perm]
 
 
+# ---------------------------------------------------------------------------
+# Multi-image lane packing
+#
+# Coefficient-encoded linear layers use a contiguous span of coefficient
+# indices per image: the input occupies [0, in_span) and every useful MAC
+# output of Eq. 1 lands below t_index + 1 <= lane_span. Independent images can
+# therefore share one ciphertext at stride ``lane_span`` — image d lives at
+# coefficients [d*stride, d*stride + in_span) and its outputs at
+# positions + d*stride. The product support of lane d is exactly
+# [d*stride, (d+1)*stride): a lower lane's kernel terms cannot reach it
+# (their shifted indices stay below stride) and a higher lane's would need a
+# negative monomial degree, so lanes never mix. One PMult serves the batch.
+
+
+def lane_capacity(span: int, n: int) -> int:
+    """How many independent images of coefficient span ``span`` fit in R_n."""
+    if span <= 0:
+        raise ParameterError(f"lane span must be positive, got {span}")
+    return max(1, n // span) if span <= n else 0
+
+
+def lane_offsets(lanes: int, stride: int) -> np.ndarray:
+    """Coefficient offset of each lane: d -> d*stride."""
+    if lanes < 1:
+        raise ParameterError(f"need at least one lane, got {lanes}")
+    return np.arange(lanes, dtype=np.int64) * stride
+
+
+def pack_lane_coeffs(blocks: list[np.ndarray], stride: int, n: int) -> np.ndarray:
+    """Pack per-image coefficient blocks into one length-``n`` vector.
+
+    Block ``d`` (width <= stride) is written at offset ``d*stride``; unused
+    coefficients stay zero. Raises when the blocks collide or overflow R_n.
+    """
+    if not blocks:
+        raise ParameterError("cannot pack zero lanes")
+    out = np.zeros(n, dtype=np.int64)
+    for d, block in enumerate(blocks):
+        block = np.asarray(block, dtype=np.int64)
+        if block.ndim != 1:
+            raise ParameterError(f"lane {d} block must be 1-D, got {block.shape}")
+        if block.shape[0] > stride:
+            raise ParameterError(
+                f"lane {d} block of width {block.shape[0]} exceeds stride {stride}")
+        if d * stride + block.shape[0] > n:
+            raise ParameterError(
+                f"lane {d} overflows the ring: offset {d * stride} + width "
+                f"{block.shape[0]} > n={n}")
+        out[d * stride : d * stride + block.shape[0]] = block
+    return out
+
+
+def unpack_lane_coeffs(
+    values: np.ndarray, stride: int, lanes: int, width: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_lane_coeffs`: slice lanes back out, (lanes, width)."""
+    values = np.asarray(values)
+    if lanes < 1:
+        raise ParameterError(f"need at least one lane, got {lanes}")
+    if width > stride:
+        raise ParameterError(f"lane width {width} exceeds stride {stride}")
+    if (lanes - 1) * stride + width > values.shape[0]:
+        raise ParameterError(
+            f"{lanes} lanes of stride {stride} do not fit in {values.shape[0]} values")
+    return np.stack(
+        [values[d * stride : d * stride + width] for d in range(lanes)])
+
+
+def lane_positions(base: np.ndarray, stride: int, lanes: int, n: int) -> np.ndarray:
+    """Per-lane extraction positions: concat of ``base + d*stride`` for each lane."""
+    base = np.asarray(base, dtype=np.int64)
+    if lanes < 1:
+        raise ParameterError(f"need at least one lane, got {lanes}")
+    out = (base[None, :] + lane_offsets(lanes, stride)[:, None]).reshape(-1)
+    if out.size and int(out.max()) >= n:
+        raise ParameterError(
+            f"lane positions overflow the ring: max {int(out.max())} >= n={n}")
+    return out
+
+
 def rotation_galois_element(n: int, amount: int) -> int:
     """Galois element k with sigma_k = rotate-rows-left-by-``amount``."""
     return pow(3, amount % (n // 2), 2 * n)

@@ -14,15 +14,24 @@ This package layers that split into a service:
   tenants running the same model).
 * **tenant** — :class:`Tenant` / :class:`TenantRegistry`: per-tenant
   parameters, keygen seeds, pinned backends, and key-inventory sizing.
+* **api** — the typed request path: :class:`InferenceRequest` /
+  :class:`InferenceResult`, plus the uniform :class:`LayerStats` schema
+  every layer's ``stats()`` returns.
 * **scheduler** — :class:`FairScheduler`: bounded per-tenant queues,
-  reject/shed admission control (:class:`repro.errors.ServiceOverloaded`),
-  round-robin fair dequeue.
+  reject/shed admission control (:class:`repro.errors.ServiceOverloaded`,
+  carrying the offending tenant's queue depth), round-robin fair dequeue.
+* **batching** — :class:`BatchAssembler` / :class:`RequestBatch`:
+  cross-request ciphertext batching between scheduler and workers (same
+  model + key domain, lane count bounded by the plan's
+  ``batch_capacity``, deadline-bounded batch windows).
 * **workers** — :class:`WorkerPool`: warm ``(tenant, model)`` sessions
   behind serial/thread/process executors with per-worker key material.
 * **service** — :class:`AthenaService`: the asyncio façade composing all
   of the above (``repro serve`` / ``repro loadgen`` on the CLI).
 """
 
+from repro.serve.api import InferenceRequest, InferenceResult, LayerStats
+from repro.serve.batching import BatchAssembler, RequestBatch
 from repro.serve.cache import PlanCache, ShardedPlanCache
 from repro.serve.scheduler import FairScheduler, ServiceRequest
 from repro.serve.service import AthenaService
@@ -32,9 +41,14 @@ from repro.serve.workers import WorkerPool
 
 __all__ = [
     "AthenaService",
+    "BatchAssembler",
     "FairScheduler",
+    "InferenceRequest",
+    "InferenceResult",
     "InferenceSession",
+    "LayerStats",
     "PlanCache",
+    "RequestBatch",
     "ServiceRequest",
     "SessionCore",
     "SessionRuntime",

@@ -1,0 +1,150 @@
+"""Batch aggregation between the scheduler and the worker pool.
+
+Athena's coefficient encoding leaves most of a small model's ring unused:
+one image of lane span S occupies coefficients [0, S) of an n-coefficient
+ciphertext, so ``n // S`` independent images can ride one ciphertext and
+split the cost of the PMult, the refresh chain, the pack + FBS, and the
+S2C — the dominant ~74% FBS/S2C share of a request's wall time becomes a
+per-*batch* cost (see :class:`repro.core.plan.LaneLayout`).
+
+:class:`BatchAssembler` sits between :class:`~repro.serve.FairScheduler`
+and the worker pool and turns the queue into :class:`RequestBatch` units:
+
+* **Compatibility** — requests may share a ciphertext only when they share
+  a model *and* a key domain (:meth:`repro.serve.Tenant.key_domain`): the
+  same tenant, or distinct tenants whose parameters + seed derive
+  identical key material (the shared-key fast path).
+* **Capacity** — lane count is bounded by the plan's ``batch_capacity``
+  (free coefficient space), optionally capped by the service's
+  ``max_batch``.
+* **Deadline-bounded windows** — a batch leader never waits more than
+  ``window_s`` for co-riders: under load the remaining lanes are already
+  queued and the batch dispatches immediately; under light load the window
+  expires and the request runs solo, so latency degrades gracefully
+  instead of stalling on hypothetical peers.
+
+The assembler is shared by all dispatcher tasks; its methods only await
+scheduler primitives, and all queue surgery happens synchronously on the
+event loop, so concurrent dispatchers never double-claim a request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.serve.api import InferenceRequest, LayerStats, next_batch_id
+from repro.serve.scheduler import FairScheduler
+
+__all__ = ["BatchAssembler", "RequestBatch"]
+
+
+@dataclass
+class RequestBatch:
+    """A group of compatible requests that will share one ciphertext."""
+
+    batch_id: str
+    requests: list[InferenceRequest]
+    #: The compatibility key the members share (key domain + model).
+    group_key: tuple
+    #: Lane capacity the group was allowed (>= len(requests)).
+    capacity: int
+    formed_at: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def lead(self) -> InferenceRequest:
+        return self.requests[0]
+
+
+class BatchAssembler:
+    """Group compatible queued requests into dispatchable batches."""
+
+    def __init__(
+        self,
+        scheduler: FairScheduler,
+        capacity_for: Callable[[InferenceRequest], int],
+        group_key: Callable[[InferenceRequest], tuple],
+        window_s: float = 0.0,
+    ):
+        self.scheduler = scheduler
+        self.capacity_for = capacity_for
+        self.group_key = group_key
+        self.window_s = window_s
+        self.batches = 0
+        self.batched_requests = 0
+        self.occupancy_max = 0
+        self.window_waits = 0
+
+    async def next_batch(self) -> RequestBatch | None:
+        """Await the next dispatchable batch; None when closed and drained.
+
+        The leader (next fair-dequeue request) opens the batch; remaining
+        lanes are filled from already-queued compatible requests, then — if
+        lanes remain and a window is configured — from requests arriving
+        within ``window_s`` of the leader's dequeue. A capacity-1 leader
+        (plan too large to batch, or batching disabled) skips the window
+        entirely.
+        """
+        lead = await self.scheduler.next_request()
+        if lead is None:
+            return None
+        key = self.group_key(lead)
+        capacity = max(1, int(self.capacity_for(lead)))
+        requests = [lead]
+        if capacity > 1:
+            matcher = self._matcher(key)
+            deadline = (lead.dequeued_at or time.perf_counter()) + self.window_s
+            while len(requests) < capacity:
+                requests.extend(
+                    self.scheduler.take_matching(
+                        matcher, capacity - len(requests)
+                    )
+                )
+                if len(requests) >= capacity:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self.scheduler.closed:
+                    break
+                self.window_waits += 1
+                await self.scheduler.wait_for_activity(remaining)
+        self.batches += 1
+        self.batched_requests += len(requests)
+        self.occupancy_max = max(self.occupancy_max, len(requests))
+        return RequestBatch(
+            batch_id=next_batch_id(),
+            requests=requests,
+            group_key=key,
+            capacity=capacity,
+            formed_at=time.perf_counter(),
+        )
+
+    def _matcher(self, key: tuple) -> Callable[[InferenceRequest], bool]:
+        return lambda request: self.group_key(request) == key
+
+    @property
+    def occupancy_mean(self) -> float | None:
+        """Mean lanes per dispatched batch (None before any batch)."""
+        if not self.batches:
+            return None
+        return self.batched_requests / self.batches
+
+    def stats(self) -> LayerStats:
+        mean = self.occupancy_mean
+        return LayerStats(
+            layer="batcher",
+            requests=self.batched_requests,
+            counters={
+                "batches": self.batches,
+                "occupancy_max": self.occupancy_max,
+                "window_waits": self.window_waits,
+            },
+            timings={"window_s": self.window_s},
+            detail={
+                "occupancy_mean": round(mean, 4) if mean is not None else None,
+            },
+        )

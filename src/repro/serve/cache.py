@@ -23,6 +23,7 @@ import threading
 from pathlib import Path
 
 from repro.core.plan import CompiledProgram, compile_program, program_fingerprint
+from repro.errors import ReproError
 from repro.fhe.params import FheParams
 from repro.fhe.serialize import dump_plan, load_plan, params_fingerprint
 
@@ -87,13 +88,23 @@ class PlanCache:
             }
 
     def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
-        """Load the program's plan from disk, compiling (and saving) on miss."""
+        """Load the program's plan from disk, compiling (and saving) on miss.
+
+        A cached artifact that no longer loads — most commonly a stale wire
+        version left behind by an older build — is treated as a miss and
+        overwritten with a fresh compile, so cache directories survive
+        format bumps without manual cleanup.
+        """
         path = self.path_for(program_fingerprint(program), params, chunk)
         if path.exists():
-            plan = load_plan(path.read_bytes(), params)
-            plan.bind(program, params)
-            self._record(hit=True)
-            return plan
+            try:
+                plan = load_plan(path.read_bytes(), params)
+                plan.bind(program, params)
+            except ReproError:
+                pass  # stale or corrupt artifact: recompile below
+            else:
+                self._record(hit=True)
+                return plan
         plan = compile_program(program, params, chunk=chunk)
         self._write_atomic(path, dump_plan(plan))
         self._record(hit=False)

@@ -1,14 +1,14 @@
 """Load generator: throughput/latency numbers for the serving stack.
 
 :func:`run_loadgen` stands up an :class:`~repro.serve.AthenaService` per
-worker configuration — same tenants, same model, same shared plan cache —
-drives a fixed closed batch of requests through each, and emits
+configuration — same tenants, same model, same shared plan cache — drives
+a fixed closed batch of requests through each, and emits
 ``BENCH_serve.json``: one record per configuration with requests/sec,
-client-observed p50/p99 latency, peak queue depth, and the plan-cache hit
-rate of that configuration's phase. The first configuration is the
-``cold`` phase (its first lookup compiles and persists the plan); every
-later configuration is ``warm`` (all lookups are cache hits) — CI asserts
-the warm-phase hit rate is positive.
+client-observed p50/p99 latency, peak queue depth, batch occupancy, and
+the plan-cache hit rate of that configuration's phase. The first
+configuration is the ``cold`` phase (its first lookup compiles and
+persists the plan); every later configuration is ``warm`` (all lookups
+are cache hits) — CI asserts the warm-phase hit rate is positive.
 
 Per-request time has two components the configurations trade off
 differently: the ciphertext compute (CPU-bound, parallel across process
@@ -20,14 +20,22 @@ single fresh ciphertext is ~5.9 MiB; see
 holds a worker slot without holding the CPU, so a multi-worker service
 overlaps one request's transport with another's compute — which is why the
 multi-worker configuration sustains higher requests/sec than the
-single-worker one even before compute parallelism kicks in, and is the
-effect the acceptance gate in ``benchmarks/bench_serve.py`` pins.
+single-worker one even before compute parallelism kicks in.
+
+Cross-request ciphertext batching adds a second amortization axis:
+``batching="both"`` runs every worker count once with batching off and
+once on, at *equal* worker count, so the report isolates what lane
+packing alone buys — a batch pays one transport window and one fused
+pipeline execution for up to ``batch_capacity`` requests. The acceptance
+gate in ``benchmarks/bench_serve.py`` pins both effects.
 
 ``model="mnist_cnn"`` (the default) serves the canonical micro CNN at
 ``TEST_LOOP`` parameters — the same subject as ``BENCH_pipeline.json`` —
 so serving throughput is directly comparable with the single-session
 pipeline numbers. ``model="micro"`` serves a smaller conv+fc model at
-``TEST_FBS`` parameters for fast smoke runs.
+``TEST_FBS`` parameters for fast smoke runs. ``model="pack"`` serves the
+lane-packing subject (``batch_capacity == 2`` at ``TEST_FBS``), the one
+to use with ``batching="both"``.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ from repro.quant.quantize import (
     QuantConfig,
     QuantizedModel,
 )
+from repro.serve.api import InferenceRequest
 from repro.serve.cache import ShardedPlanCache
 from repro.serve.service import AthenaService
 from repro.serve.tenant import Tenant, TenantRegistry
@@ -57,6 +66,7 @@ from repro.serve.tenant import Tenant, TenantRegistry
 __all__ = [
     "BENCH_SERVE_FILENAME",
     "SERVE_SCHEMA",
+    "pack_cnn",
     "run_loadgen",
     "serve_micro_cnn",
 ]
@@ -66,9 +76,11 @@ BENCH_SERVE_FILENAME = "BENCH_serve.json"
 
 #: Record keys of one BENCH_serve.json entry.
 SERVE_SCHEMA = (
-    "bench", "phase", "model", "params", "tenants", "workers", "mode",
-    "transport_s", "requests", "wall_s", "requests_per_s", "latency_p50_s",
-    "latency_p99_s", "queue_depth_max", "plan_cache", "per_tenant",
+    "bench", "phase", "model", "params", "tenants", "shared_keys", "workers",
+    "mode", "transport_s", "batching", "batch_window_s", "batch_capacity",
+    "requests", "batches", "batch_occupancy", "wall_s", "requests_per_s",
+    "latency_p50_s", "latency_p99_s", "queue_depth_max", "plan_cache",
+    "per_tenant",
 )
 
 
@@ -99,10 +111,43 @@ def serve_micro_cnn(rng: np.random.Generator) -> QuantizedModel:
     )
 
 
+def pack_cnn(rng: np.random.Generator) -> QuantizedModel:
+    """conv(1->1, k2) on 3x3 -> flatten -> fc(4->2): the batchable subject.
+
+    Sized so two images fit in one TEST_FBS ciphertext (conv lane span 13,
+    fc lane span 11, n=32 => ``batch_capacity == 2``) — the cross-user
+    batching subject for benches and equivalence tests. Weights and biases
+    are hand-placed multiples of ``out_scale`` so every LUT input sits a
+    full quantization step away from a rounding boundary: the +-1 LWE
+    refresh noise can never flip an output, making batched, single, and
+    plain integer inference *bit-identical* (not merely close). The ``rng``
+    parameter mirrors the other builders' signature; the model is fully
+    deterministic.
+    """
+    del rng  # deterministic by design; see docstring
+    cfg = QuantConfig(4, 4, t=TEST_FBS.t)
+    conv = QConv(
+        weight=np.array([[[[8, 0], [0, 8]]]], dtype=np.int64),
+        bias=np.array([8], dtype=np.int64),
+        stride=1, pad=0, in_scale=1.0, w_scale=1.0, out_scale=8.0,
+        activation="relu", in_shape=(1, 3, 3), out_shape=(1, 2, 2),
+    )
+    fc = QLinear(
+        weight=np.array([[8, -8, 0, 0], [0, 0, 8, 8]], dtype=np.int64),
+        bias=np.array([8, -8], dtype=np.int64),
+        in_scale=1.0, w_scale=1.0, out_scale=8.0, activation="identity",
+        in_features=4, out_features=2,
+    )
+    return QuantizedModel(
+        [conv, QFlatten(), fc], cfg, 1.0, (1, 3, 3), name="pack"
+    )
+
+
 #: Bench subjects: model name -> (builder rng seed applied inside, params).
 _SUBJECTS: dict[str, tuple] = {
     "mnist_cnn": (mnist_cnn_micro, TEST_LOOP),
     "micro": (serve_micro_cnn, TEST_FBS),
+    "pack": (pack_cnn, TEST_FBS),
 }
 
 
@@ -125,18 +170,28 @@ async def _drive(
     model: str,
     inputs: list[tuple[str, np.ndarray]],
     warmup_inputs: list[tuple[str, np.ndarray]],
-) -> tuple[float, list[float]]:
-    """Warm, then time the batch; returns (wall_s, per-request latencies)."""
+) -> tuple[float, list[float], dict]:
+    """Warm, then time the batch; returns (wall_s, latencies, batch stats).
+
+    The timed requests are submitted concurrently (``asyncio.gather``), so
+    compatible requests really are co-queued and the batch assembler gets a
+    fair shot at packing them — exactly a burst of simultaneous clients.
+    Batch counters are deltas over the timed phase only (the sequential
+    warmup necessarily runs occupancy-1 batches).
+    """
     await service.start()
     try:
         for tenant_id, x_q in warmup_inputs:
-            await service.submit(tenant_id, model, x_q)
+            await service.submit(InferenceRequest(tenant_id, model, x_q))
 
+        assembler = service.assembler
+        batches0 = assembler.batches
+        batched0 = assembler.batched_requests
         latencies: list[float] = [0.0] * len(inputs)
 
         async def one(i: int, tenant_id: str, x_q: np.ndarray) -> None:
             t0 = time.perf_counter()
-            await service.submit(tenant_id, model, x_q)
+            await service.submit(InferenceRequest(tenant_id, model, x_q))
             latencies[i] = time.perf_counter() - t0
 
         start = time.perf_counter()
@@ -144,9 +199,15 @@ async def _drive(
             *(one(i, tid, x) for i, (tid, x) in enumerate(inputs))
         )
         wall = time.perf_counter() - start
+        batches = assembler.batches - batches0
+        batched = assembler.batched_requests - batched0
+        batch_stats = {
+            "batches": batches,
+            "occupancy": round(batched / batches, 4) if batches else None,
+        }
     finally:
         await service.stop()
-    return wall, latencies
+    return wall, latencies, batch_stats
 
 
 def run_loadgen(
@@ -161,25 +222,43 @@ def run_loadgen(
     seed: int = 41,
     warmup: int = 1,
     cache_dir: str | Path | None = None,
+    batching: str = "on",
+    batch_window_s: float = 0.25,
+    shared_keys: bool = False,
 ) -> list[dict]:
-    """Drive the service under each worker count; write ``out``, return records.
+    """Drive the service under each configuration; write ``out``, return records.
 
-    One record per worker configuration, all sharing a single plan cache
-    (so later configurations exercise the warm path) and a fixed
-    round-robin request schedule across ``tenants`` tenants — every
-    configuration answers the identical workload, which is what makes the
-    requests/sec comparison between them meaningful. ``warmup`` untimed
-    requests per tenant precede each timed batch. ``cache_dir=None`` uses
-    a memory-only plan cache (single-process sharing only).
+    One record per ``(workers, batching)`` configuration, all sharing a
+    single plan cache (so later configurations exercise the warm path) and
+    a fixed round-robin request schedule across ``tenants`` tenants —
+    every configuration answers the identical workload, which is what
+    makes the requests/sec comparison between them meaningful. ``warmup``
+    untimed requests per tenant precede each timed batch.
+    ``cache_dir=None`` uses a memory-only plan cache (single-process
+    sharing only).
+
+    ``batching`` is ``"on"``, ``"off"``, or ``"both"`` — ``"both"`` runs
+    every worker count twice (off first, then on) so batched vs unbatched
+    throughput compares at equal worker count. ``shared_keys=True`` gives
+    every tenant the same keygen seed, putting all tenants in one key
+    domain so the assembler's shared-key fast path can pack *cross-tenant*
+    batches; with distinct seeds only same-tenant requests co-batch.
     """
     if tenants < 1:
         raise ParameterError("loadgen needs at least one tenant")
     if requests < 1:
         raise ParameterError("loadgen needs at least one request")
+    if batching not in ("on", "off", "both"):
+        raise ParameterError(
+            f"batching must be 'on', 'off', or 'both'; got {batching!r}"
+        )
     qm, params = _build_subject(model)
     cache = ShardedPlanCache(cache_dir)
     rng = np.random.default_rng(seed)
     tenant_ids = [f"tenant{i}" for i in range(tenants)]
+    batch_flags = {
+        "on": (True,), "off": (False,), "both": (False, True),
+    }[batching]
 
     # One fixed schedule for every configuration: requests round-robin
     # across tenants, inputs drawn once.
@@ -195,65 +274,80 @@ def run_loadgen(
     ]
 
     records: list[dict] = []
-    for index, workers in enumerate(worker_counts):
-        registry = TenantRegistry(
-            Tenant(tid, params, seed=seed + i)
-            for i, tid in enumerate(tenant_ids)
-        )
-        perf = PerfRecorder()
-        service = AthenaService(
-            registry,
-            cache=cache,
-            exec_config=ExecConfig(mode, workers),
-            # The closed batch is admitted up front; size the per-tenant
-            # bound to hold this tenant's whole share so the loadgen
-            # itself is never shed.
-            queue_capacity=max(1, -(-requests // tenants)),
-            transport_s=transport_s,
-            perf=perf,
-        )
-        hits0, misses0 = cache.hits, cache.misses
-        service.register_model(model, qm, chunk=chunk)
-        wall, latencies = asyncio.run(
-            _drive(service, model, inputs, warmup_inputs)
-        )
-        phase_hits = cache.hits - hits0
-        phase_misses = cache.misses - misses0
-        phase_total = phase_hits + phase_misses
-        stats = service.stats()
-        records.append({
-            "bench": "serve",
-            "phase": "cold" if index == 0 else "warm",
-            "model": model,
-            "params": {
-                "name": params.name,
-                "n": params.n,
-                "limbs": len(params.moduli),
-                "t": params.t,
-            },
-            "tenants": tenants,
-            "workers": workers,
-            "mode": mode,
-            "transport_s": transport_s,
-            "requests": requests,
-            "wall_s": round(wall, 6),
-            "requests_per_s": round(requests / wall, 6),
-            "latency_p50_s": _percentile(latencies, 50),
-            "latency_p99_s": _percentile(latencies, 99),
-            "queue_depth_max": stats["scheduler"]["queue_depth_max"],
-            "plan_cache": {
-                "hits": phase_hits,
-                "misses": phase_misses,
-                "hit_rate": (
-                    round(phase_hits / phase_total, 4) if phase_total else None
-                ),
-            },
-            # Timed requests only (service stats also count the warmup).
-            "per_tenant": {
-                tid: sum(1 for req_tid, _ in inputs if req_tid == tid)
-                for tid in tenant_ids
-            },
-        })
+    index = 0
+    for workers in worker_counts:
+        for batch_on in batch_flags:
+            registry = TenantRegistry(
+                Tenant(tid, params, seed=seed if shared_keys else seed + i)
+                for i, tid in enumerate(tenant_ids)
+            )
+            perf = PerfRecorder()
+            service = AthenaService(
+                registry,
+                cache=cache,
+                exec_config=ExecConfig(mode, workers),
+                # The closed batch is admitted up front; size the per-tenant
+                # bound to hold this tenant's whole share so the loadgen
+                # itself is never shed.
+                queue_capacity=max(1, -(-requests // tenants)),
+                transport_s=transport_s,
+                perf=perf,
+                batching=batch_on,
+                batch_window_s=batch_window_s,
+            )
+            hits0, misses0 = cache.hits, cache.misses
+            service.register_model(model, qm, chunk=chunk)
+            capacity = next(iter(service._cores.values())).plan.batch_capacity
+            wall, latencies, batch_stats = asyncio.run(
+                _drive(service, model, inputs, warmup_inputs)
+            )
+            phase_hits = cache.hits - hits0
+            phase_misses = cache.misses - misses0
+            phase_total = phase_hits + phase_misses
+            stats = service.stats().to_dict()
+            records.append({
+                "bench": "serve",
+                "phase": "cold" if index == 0 else "warm",
+                "model": model,
+                "params": {
+                    "name": params.name,
+                    "n": params.n,
+                    "limbs": len(params.moduli),
+                    "t": params.t,
+                },
+                "tenants": tenants,
+                "shared_keys": shared_keys,
+                "workers": workers,
+                "mode": mode,
+                "transport_s": transport_s,
+                "batching": batch_on,
+                "batch_window_s": batch_window_s,
+                "batch_capacity": capacity,
+                "requests": requests,
+                "batches": batch_stats["batches"],
+                "batch_occupancy": batch_stats["occupancy"],
+                "wall_s": round(wall, 6),
+                "requests_per_s": round(requests / wall, 6),
+                "latency_p50_s": _percentile(latencies, 50),
+                "latency_p99_s": _percentile(latencies, 99),
+                "queue_depth_max": stats["detail"]["scheduler"]["counters"][
+                    "queue_depth_max"
+                ],
+                "plan_cache": {
+                    "hits": phase_hits,
+                    "misses": phase_misses,
+                    "hit_rate": (
+                        round(phase_hits / phase_total, 4)
+                        if phase_total else None
+                    ),
+                },
+                # Timed requests only (service stats also count the warmup).
+                "per_tenant": {
+                    tid: sum(1 for req_tid, _ in inputs if req_tid == tid)
+                    for tid in tenant_ids
+                },
+            })
+            index += 1
     for record in records:
         missing = [k for k in SERVE_SCHEMA if k not in record]
         if missing:  # pragma: no cover - schema regression guard

@@ -7,9 +7,10 @@ a multi-tenant deployment:
 * **Bounded queues** — each tenant gets its own FIFO of at most
   ``capacity`` pending requests. Admission is synchronous: a request
   either enters its tenant's queue or is shed immediately with
-  :class:`repro.errors.ServiceOverloaded`, so callers always know whether
-  work was started and backpressure propagates to the edge instead of
-  growing an unbounded backlog.
+  :class:`repro.errors.ServiceOverloaded` (carrying the tenant's live
+  queue depth so clients can back off proportionally), so callers always
+  know whether work was started and backpressure propagates to the edge
+  instead of growing an unbounded backlog.
 * **Tenant isolation** — the bound is *per tenant*, so one tenant
   flooding the service exhausts only its own queue space; other tenants'
   requests are still admitted.
@@ -19,11 +20,14 @@ a multi-tenant deployment:
 
 The scheduler is asyncio-native and single-loop: :meth:`submit` is called
 from the event-loop thread (the service's ``submit`` coroutine),
-:meth:`next_request` is awaited by the service's dispatcher tasks. Depth
-accounting feeds the load generator's ``queue_depth_max`` metric, and a
-:class:`~repro.perf.PerfRecorder` (when attached) receives
-``sched.accepted`` / ``sched.rejected`` counts and per-request queue-wait
-time under the ``queue_wait`` phase.
+:meth:`next_request` is awaited by the service's dispatcher tasks. The
+batch assembler additionally uses :meth:`take_matching` (harvest queued
+requests compatible with a forming batch, preserving per-tenant FIFO
+order) and :meth:`wait_for_activity` (bounded wait for new admissions
+inside a batch window). Depth accounting feeds the load generator's
+queue-depth metric, and a :class:`~repro.perf.PerfRecorder` (when
+attached) receives ``sched.accepted`` / ``sched.rejected`` counts and
+per-request queue-wait time under the ``queue_wait`` phase.
 """
 
 from __future__ import annotations
@@ -31,27 +35,17 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from dataclasses import dataclass, field
-
-import numpy as np
+from typing import Callable
 
 from repro.errors import ParameterError, ServiceOverloaded
 from repro.perf import PerfRecorder
+from repro.serve.api import InferenceRequest, LayerStats
 
 __all__ = ["FairScheduler", "ServiceRequest"]
 
-
-@dataclass
-class ServiceRequest:
-    """One queued inference request flowing scheduler -> worker."""
-
-    tenant_id: str
-    model: str
-    x_q: np.ndarray
-    #: Resolved by the dispatcher with the decrypted output (or an error).
-    future: asyncio.Future | None = None
-    #: ``time.perf_counter()`` at admission; queue wait derives from it.
-    enqueued_at: float = field(default_factory=time.perf_counter)
+#: Deprecated alias retained for one release: the scheduler's queue element
+#: is now the typed :class:`repro.serve.api.InferenceRequest`.
+ServiceRequest = InferenceRequest
 
 
 class FairScheduler:
@@ -70,7 +64,7 @@ class FairScheduler:
             raise ParameterError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.perf = perf
-        self._queues: dict[str, deque[ServiceRequest]] = {
+        self._queues: dict[str, deque[InferenceRequest]] = {
             tid: deque() for tid in tenant_ids
         }
         #: Fairness ring: rotated one tenant per dequeue.
@@ -83,7 +77,7 @@ class FairScheduler:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, request: ServiceRequest) -> None:
+    def submit(self, request: InferenceRequest) -> None:
         """Admit ``request`` or shed it with :class:`ServiceOverloaded`.
 
         Synchronous and loop-thread only; a rejected request was never
@@ -103,7 +97,10 @@ class FairScheduler:
                 self.perf.count("sched.rejected")
             raise ServiceOverloaded(
                 f"tenant {request.tenant_id!r} queue is full "
-                f"({self.capacity} pending)"
+                f"({self.capacity} pending)",
+                tenant_id=request.tenant_id,
+                depth=len(queue),
+                capacity=self.capacity,
             )
         request.enqueued_at = time.perf_counter()
         queue.append(request)
@@ -115,7 +112,19 @@ class FairScheduler:
 
     # -- dequeue -----------------------------------------------------------
 
-    def _pop_next(self) -> ServiceRequest | None:
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _stamp(self, request: InferenceRequest) -> InferenceRequest:
+        request.dequeued_at = time.perf_counter()
+        if self.perf is not None:
+            self.perf.add_time(
+                "queue_wait", request.dequeued_at - request.enqueued_at
+            )
+        return request
+
+    def _pop_next(self) -> InferenceRequest | None:
         """One round-robin sweep: the next tenant with work, else None."""
         for _ in range(len(self._ring)):
             tenant_id = self._ring[0]
@@ -125,7 +134,7 @@ class FairScheduler:
                 return queue.popleft()
         return None
 
-    async def next_request(self) -> ServiceRequest | None:
+    async def next_request(self) -> InferenceRequest | None:
         """Await the next request, fairly across tenants.
 
         Returns ``None`` once the scheduler is closed *and* drained — the
@@ -135,11 +144,7 @@ class FairScheduler:
         while True:
             request = self._pop_next()
             if request is not None:
-                if self.perf is not None:
-                    self.perf.add_time(
-                        "queue_wait", time.perf_counter() - request.enqueued_at
-                    )
-                return request
+                return self._stamp(request)
             if self._closed:
                 return None
             self._wakeup.clear()
@@ -147,10 +152,56 @@ class FairScheduler:
             # the clear would otherwise be parked until the next wakeup.
             request = self._pop_next()
             if request is not None:
-                return request
+                return self._stamp(request)
             if self._closed:
                 return None
             await self._wakeup.wait()
+
+    def take_matching(
+        self,
+        match: Callable[[InferenceRequest], bool],
+        limit: int,
+    ) -> list[InferenceRequest]:
+        """Harvest up to ``limit`` queued requests satisfying ``match``.
+
+        Used by the batch assembler to fill the remaining lanes of a
+        forming batch. Sweeps tenants round-robin (continuing the fairness
+        ring) but pops only from queue *heads* and only while the head
+        matches — per-tenant FIFO order is never reordered, so a tenant's
+        requests complete in submission order whether or not they batch.
+        Synchronous: no awaits, so the harvest is atomic on the loop.
+        """
+        taken: list[InferenceRequest] = []
+        if limit <= 0:
+            return taken
+        for _ in range(len(self._ring)):
+            if len(taken) >= limit:
+                break
+            tenant_id = self._ring[0]
+            self._ring.rotate(-1)
+            queue = self._queues[tenant_id]
+            while queue and len(taken) < limit and match(queue[0]):
+                taken.append(self._stamp(queue.popleft()))
+        return taken
+
+    async def wait_for_activity(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds for a new admission (or close).
+
+        Returns True if woken by activity, False on timeout. Callers must
+        re-sweep the queues afterwards either way: with several waiters on
+        one event, a wakeup is a hint, not a claim.
+        """
+        if timeout <= 0 or self._closed:
+            return self._closed
+        self._wakeup.clear()
+        if self.depth() or self._closed:
+            # Admissions between the caller's sweep and the clear.
+            return True
+        try:
+            await asyncio.wait_for(self._wakeup.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     # -- lifecycle / accounting --------------------------------------------
 
@@ -165,15 +216,21 @@ class FairScheduler:
             return len(self._queues[tenant_id])
         return sum(len(q) for q in self._queues.values())
 
-    def stats(self) -> dict:
-        """JSON-ready admission/fairness accounting."""
-        return {
-            "capacity_per_tenant": self.capacity,
-            "accepted": self.accepted,
-            "rejected": self.rejected,
-            "queue_depth": self.depth(),
-            "queue_depth_max": self.depth_max,
-            "per_tenant_depth": {
-                tid: len(q) for tid, q in self._queues.items()
+    def stats(self) -> LayerStats:
+        """Admission/fairness accounting in the uniform layer schema."""
+        return LayerStats(
+            layer="scheduler",
+            requests=self.accepted,
+            counters={
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "queue_depth": self.depth(),
+                "queue_depth_max": self.depth_max,
             },
-        }
+            detail={
+                "capacity_per_tenant": self.capacity,
+                "per_tenant_depth": {
+                    tid: len(q) for tid, q in self._queues.items()
+                },
+            },
+        )

@@ -1,55 +1,76 @@
-"""Service façade: the four serving layers composed into one deployment.
+"""Service façade: the serving layers composed into one deployment.
 
-:class:`AthenaService` wires tenant registry -> scheduler -> worker pool
-over a shared (sharded) plan cache:
+:class:`AthenaService` wires tenant registry -> scheduler -> batch
+assembler -> worker pool over a shared (sharded) plan cache:
 
 1. **tenant layer** (:mod:`repro.serve.tenant`) — who is served, under
    which parameters/seeds/backends, and what key material that implies.
 2. **scheduler layer** (:mod:`repro.serve.scheduler`) — bounded per-tenant
    queues, synchronous admission control (reject/shed with
-   :class:`~repro.errors.ServiceOverloaded`), round-robin fair dequeue.
-3. **worker layer** (:mod:`repro.serve.workers`) — warm
+   :class:`~repro.errors.ServiceOverloaded`, payload carrying the tenant's
+   queue depth), round-robin fair dequeue.
+3. **batching layer** (:mod:`repro.serve.batching`) — groups compatible
+   queued requests (same model + same key domain, including the
+   shared-key fast path across tenants with identical params + seed) up to
+   the plan's ``batch_capacity``, within a deadline-bounded window.
+4. **worker layer** (:mod:`repro.serve.workers`) — warm
    ``(tenant, model)`` sessions behind an :class:`~repro.perf.ExecConfig`
-   executor (serial/thread/process), per-worker keys + pinned backends.
-4. **this façade** — model registration through the shared
-   :class:`~repro.serve.cache.ShardedPlanCache` (tenants sharing a model
-   under the same parameters share one compiled artifact), the asyncio
-   dispatch loop connecting scheduler to workers, and aggregate stats.
+   executor (serial/thread/process); a batch runs as *one* fused pipeline
+   execution and is demultiplexed per lane.
+5. **this façade** — model registration through the shared
+   :class:`~repro.serve.cache.ShardedPlanCache`, the asyncio dispatch loop
+   connecting the layers, the typed request/response API
+   (:class:`~repro.serve.api.InferenceRequest` /
+   :class:`~repro.serve.api.InferenceResult`), and aggregate stats in the
+   uniform :class:`~repro.serve.api.LayerStats` schema.
 
-The request path is ``await service.submit(tenant, model, x)``:
+The request path is ``result = await service.submit(InferenceRequest(...))``:
 admission happens synchronously inside ``submit`` (a shed request raises
-before any work starts), then a dispatcher task — one per worker slot —
-picks the request up fairly, optionally holds the slot for the configured
-``transport_s`` window (modeling the per-connection ciphertext
-upload/download an FHE deployment pays; at paper-scale parameters one
-fresh ciphertext is ~5.9 MiB), and runs it on the pool.
+before any work starts); a dispatcher task — one per worker slot — then
+assembles a batch, holds the slot for one ``transport_s`` window (the
+per-connection ciphertext upload/download an FHE deployment pays — paid
+*once per batch*, since co-batched clients upload concurrently on their own
+connections while the slot waits out the longest), runs the fused
+execution, and resolves every member's future with its
+:class:`InferenceResult`.
 
 Outputs are bit-identical to a direct
 :meth:`repro.serve.InferenceSession.run` with the tenant's seed, provided
 the per-runtime request order matches (each runtime's encryption
 randomness is a deterministic stream) — ``serial``/single-worker pools
 preserve submission order per tenant, which is what the equivalence tests
-pin.
+pin; the lane-packing geometry guarantees a batched lane computes the
+identical function of the identical noise-margin, see
+:class:`repro.core.plan.LaneLayout`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
+import warnings
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.program import AthenaProgram, lower
 from repro.errors import ParameterError
-from repro.fhe.params import FheParams
 from repro.perf import ExecConfig, PerfRecorder
+from repro.serve.api import InferenceRequest, InferenceResult, LayerStats
+from repro.serve.batching import BatchAssembler, RequestBatch
 from repro.serve.cache import PlanCache, ShardedPlanCache
-from repro.serve.scheduler import FairScheduler, ServiceRequest
+from repro.serve.scheduler import FairScheduler
 from repro.serve.session import SessionCore
 from repro.serve.tenant import Tenant, TenantRegistry
 from repro.serve.workers import WorkerPool
 
 __all__ = ["AthenaService"]
+
+_POSITIONAL_DEPRECATION = (
+    "positional submit(tenant_id, model, x_q) is deprecated and will be "
+    "removed next release; pass an InferenceRequest (returns an "
+    "InferenceResult with lane/batch placement and timings)"
+)
 
 
 class AthenaService:
@@ -63,6 +84,13 @@ class AthenaService:
     ``cache=None`` builds a memory-only :class:`ShardedPlanCache`, so
     co-located tenants still share compiled plans; pass a disk-backed
     cache to share them across processes and restarts.
+
+    ``batching`` enables cross-request ciphertext batching (on by
+    default; plans whose ``batch_capacity`` is 1 are unaffected either
+    way). ``batch_window_s`` bounds how long a dispatcher holds a
+    partially-filled batch open for late co-riders — 0 batches only what
+    is already queued. ``max_batch`` caps lanes per batch below the
+    plan's capacity.
     """
 
     def __init__(
@@ -73,6 +101,9 @@ class AthenaService:
         queue_capacity: int = 8,
         transport_s: float = 0.0,
         perf: PerfRecorder | None = None,
+        batching: bool = True,
+        batch_window_s: float = 0.05,
+        max_batch: int | None = None,
     ):
         if isinstance(tenants, TenantRegistry):
             self.tenants = tenants
@@ -82,17 +113,25 @@ class AthenaService:
             raise ParameterError("service needs at least one tenant")
         if transport_s < 0:
             raise ParameterError("transport window cannot be negative")
+        if batch_window_s < 0:
+            raise ParameterError("batch window cannot be negative")
+        if max_batch is not None and max_batch < 1:
+            raise ParameterError("max_batch must be >= 1")
         self.cache = cache if cache is not None else ShardedPlanCache(None)
         self.exec_config = (
             exec_config if exec_config is not None else ExecConfig("thread")
         )
         self.queue_capacity = queue_capacity
         self.transport_s = transport_s
+        self.batching = batching
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
         self.perf = perf if perf is not None else PerfRecorder()
         self.models: dict[str, str] = {}  # name -> program fingerprint
         self._cores: dict[tuple[str, str], SessionCore] = {}
         self.pool: WorkerPool | None = None
         self.scheduler: FairScheduler | None = None
+        self.assembler: BatchAssembler | None = None
         self._dispatchers: list[asyncio.Task] = []
         self._per_tenant_requests: dict[str, int] = {
             tid: 0 for tid in self.tenants.ids()
@@ -150,6 +189,24 @@ class AthenaService:
         self.models[name] = fingerprint
         return fingerprint
 
+    # -- batching policy ---------------------------------------------------
+
+    def _group_key(self, request: InferenceRequest) -> tuple:
+        """Compatibility key: requests sharing it may share a ciphertext."""
+        tenant = self.tenants.get(request.tenant_id)
+        return (tenant.key_domain(), request.model)
+
+    def _batch_capacity_for(self, request: InferenceRequest) -> int:
+        """Lane budget for a batch led by ``request``."""
+        if not self.batching:
+            return 1
+        capacity = self._cores[
+            (request.tenant_id, request.model)
+        ].plan.batch_capacity
+        if self.max_batch is not None:
+            capacity = min(capacity, self.max_batch)
+        return max(1, capacity)
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
@@ -162,6 +219,12 @@ class AthenaService:
         self.pool.start()
         self.scheduler = FairScheduler(
             self.tenants.ids(), capacity=self.queue_capacity, perf=self.perf
+        )
+        self.assembler = BatchAssembler(
+            self.scheduler,
+            capacity_for=self._batch_capacity_for,
+            group_key=self._group_key,
+            window_s=self.batch_window_s if self.batching else 0.0,
         )
         self._dispatchers = [
             asyncio.create_task(self._dispatch())
@@ -179,71 +242,154 @@ class AthenaService:
             self.pool.stop()
 
     async def _dispatch(self) -> None:
-        """One worker slot's loop: fair-dequeue -> transport -> run."""
+        """One worker slot's loop: assemble a batch -> transport -> run."""
         while True:
-            request = await self.scheduler.next_request()
-            if request is None:
+            batch = await self.assembler.next_batch()
+            if batch is None:
                 return
+            dispatched_at = time.perf_counter()
             try:
                 if self.transport_s:
-                    # The slot is held for the ciphertext transport window,
-                    # like a connection streaming an upload; other slots
-                    # keep computing meanwhile.
+                    # One transport window per *batch*: each member uploads
+                    # on its own connection concurrently, so the slot waits
+                    # out a single window regardless of lane count — the
+                    # first amortization batching buys. Other slots keep
+                    # computing meanwhile.
                     with self.perf.phase("transport"):
                         await asyncio.sleep(self.transport_s)
-                out = await self.pool.run(
-                    (request.tenant_id, request.model), request.x_q
+                lead = batch.lead
+                outs = await self.pool.run_batch(
+                    (lead.tenant_id, lead.model),
+                    [request.x_q for request in batch.requests],
                 )
-                self._per_tenant_requests[request.tenant_id] += 1
-                if not request.future.cancelled():
-                    request.future.set_result(out)
-            except Exception as exc:  # noqa: BLE001 - delivered to caller
-                if request.future.cancelled():
+                self._resolve(batch, outs, dispatched_at)
+            except Exception as exc:  # noqa: BLE001 - delivered to callers
+                delivered = False
+                for request in batch.requests:
+                    if not request.future.cancelled():
+                        request.future.set_exception(exc)
+                        delivered = True
+                if not delivered:
                     raise
-                request.future.set_exception(exc)
+
+    def _resolve(
+        self, batch: RequestBatch, outs: list, dispatched_at: float
+    ) -> None:
+        """Demultiplex one fused execution into per-request results."""
+        done_at = time.perf_counter()
+        run_s = done_at - dispatched_at - (self.transport_s or 0.0)
+        for lane, (request, out) in enumerate(zip(batch.requests, outs)):
+            self._per_tenant_requests[request.tenant_id] += 1
+            dequeued_at = request.dequeued_at or dispatched_at
+            result = InferenceResult(
+                request_id=request.request_id,
+                tenant_id=request.tenant_id,
+                model=request.model,
+                output=out,
+                lane=lane,
+                batch_size=batch.size,
+                batch_id=batch.batch_id,
+                timings={
+                    "queue_wait_s": dequeued_at - request.enqueued_at,
+                    "batch_wait_s": dispatched_at - dequeued_at,
+                    "transport_s": self.transport_s,
+                    "run_s": run_s,
+                    "total_s": done_at - request.enqueued_at,
+                },
+            )
+            if not request.future.cancelled():
+                request.future.set_result(result)
 
     # -- request path ------------------------------------------------------
 
-    def submit_nowait(
-        self, tenant_id: str, model: str, x_q: np.ndarray
-    ) -> asyncio.Future:
-        """Admit one request; returns the future resolving to its output.
-
-        Raises :class:`~repro.errors.ServiceOverloaded` synchronously when
-        the tenant's queue is full and :class:`ParameterError` for unknown
-        tenants/models — in both cases nothing was queued.
-        """
+    def _admit(self, request: InferenceRequest) -> asyncio.Future:
+        """Validate + enqueue; returns the request's result future."""
         if self.scheduler is None:
             raise ParameterError("service is not started")
-        self.tenants.get(tenant_id)  # unknown-tenant check, typed error
-        if (tenant_id, model) not in self._cores:
+        self.tenants.get(request.tenant_id)  # unknown-tenant check
+        if (request.tenant_id, request.model) not in self._cores:
             raise ParameterError(
-                f"model {model!r} is not registered; have: "
+                f"model {request.model!r} is not registered; have: "
                 f"{sorted(self.models)}"
             )
-        future = asyncio.get_running_loop().create_future()
-        request = ServiceRequest(
-            tenant_id=tenant_id,
-            model=model,
-            x_q=np.asarray(x_q, dtype=np.int64),
-            future=future,
-        )
+        request.x_q = np.asarray(request.x_q, dtype=np.int64)
+        request.future = asyncio.get_running_loop().create_future()
         self.scheduler.submit(request)
-        return future
+        return request.future
+
+    def submit_nowait(
+        self,
+        request: InferenceRequest | str,
+        model: str | None = None,
+        x_q: np.ndarray | None = None,
+    ) -> asyncio.Future:
+        """Admit one request; returns the future resolving to its result.
+
+        The typed form — ``submit_nowait(InferenceRequest(...))`` —
+        resolves to an :class:`InferenceResult`. The legacy positional form
+        ``submit_nowait(tenant_id, model, x_q)`` is deprecated (one-release
+        shim, emits :class:`DeprecationWarning`) and resolves to the bare
+        output array, exactly as before.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` synchronously when
+        the tenant's queue is full (the exception carries ``tenant_id`` /
+        ``depth`` / ``capacity`` for client backoff) and
+        :class:`ParameterError` for unknown tenants/models — in both cases
+        nothing was queued.
+        """
+        if isinstance(request, InferenceRequest):
+            if model is not None or x_q is not None:
+                raise ParameterError(
+                    "pass either an InferenceRequest or the legacy "
+                    "(tenant_id, model, x_q) triple, not both"
+                )
+            return self._admit(request)
+        warnings.warn(_POSITIONAL_DEPRECATION, DeprecationWarning, stacklevel=2)
+        if model is None or x_q is None:
+            raise ParameterError(
+                "legacy submit_nowait needs (tenant_id, model, x_q)"
+            )
+        inner = self._admit(
+            InferenceRequest(tenant_id=request, model=model, x_q=x_q)
+        )
+        outer = asyncio.get_running_loop().create_future()
+
+        def _unwrap(done: asyncio.Future) -> None:
+            if outer.cancelled():
+                return
+            exc = done.exception() if not done.cancelled() else None
+            if done.cancelled():
+                outer.cancel()
+            elif exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(done.result().output)
+
+        inner.add_done_callback(_unwrap)
+        return outer
 
     async def submit(
-        self, tenant_id: str, model: str, x_q: np.ndarray
-    ) -> np.ndarray:
-        """One encrypted inference through the full service path."""
-        return await self.submit_nowait(tenant_id, model, x_q)
+        self,
+        request: InferenceRequest | str,
+        model: str | None = None,
+        x_q: np.ndarray | None = None,
+    ) -> InferenceResult | np.ndarray:
+        """One encrypted inference through the full service path.
+
+        ``await submit(InferenceRequest(...))`` returns the
+        :class:`InferenceResult`; the deprecated positional form returns
+        the bare output array (see :meth:`submit_nowait`).
+        """
+        return await self.submit_nowait(request, model, x_q)
 
     # -- synchronous convenience -------------------------------------------
 
-    def serve_batch(
-        self, requests: list[tuple[str, str, np.ndarray]]
-    ) -> list[np.ndarray]:
-        """Start, answer ``requests`` concurrently, stop; outputs in order.
+    def serve_batch(self, requests: list) -> list:
+        """Start, answer ``requests`` concurrently, stop; results in order.
 
+        ``requests`` is a list of :class:`InferenceRequest` (returns
+        :class:`InferenceResult` objects) or — deprecated — a list of
+        ``(tenant_id, model, x_q)`` tuples (returns bare output arrays).
         The whole batch is admitted up front, so the per-tenant queue bound
         must cover each tenant's share of the batch — size
         ``queue_capacity`` accordingly or submissions raise
@@ -251,12 +397,14 @@ class AthenaService:
         against a live overloaded service.
         """
 
-        async def _run() -> list[np.ndarray]:
+        async def _run() -> list:
             await self.start()
             try:
                 futures = [
-                    self.submit_nowait(tenant_id, model, x_q)
-                    for tenant_id, model, x_q in requests
+                    self.submit_nowait(req)
+                    if isinstance(req, InferenceRequest)
+                    else self.submit_nowait(*req)
+                    for req in requests
                 ]
                 return list(await asyncio.gather(*futures))
             finally:
@@ -266,9 +414,17 @@ class AthenaService:
 
     # -- accounting --------------------------------------------------------
 
-    def stats(self) -> dict:
-        """JSON-ready deployment accounting across all four layers."""
-        record = {
+    def stats(self) -> LayerStats:
+        """Deployment accounting across all layers, uniform schema.
+
+        ``detail`` nests each layer's own :class:`LayerStats` (as dicts)
+        under ``scheduler`` / ``batcher`` / ``workers``, plus the tenant
+        table, model fingerprints, and plan-cache counters.
+        ``counters["amortized_run_s"]`` is pool run seconds over requests
+        served — the cost-per-inference batching amortizes.
+        """
+        served = sum(self._per_tenant_requests.values())
+        detail: dict = {
             "tenants": {
                 tenant.tenant_id: {
                     "params": tenant.params.name,
@@ -281,15 +437,38 @@ class AthenaService:
                 for tenant in self.tenants
             },
             "models": dict(self.models),
-            "queue_capacity": self.queue_capacity,
-            "transport_s": self.transport_s,
             "plan_cache": self.cache.stats(),
-            "phase_s": {
-                k: round(v, 6) for k, v in sorted(self.perf.phase_s.items())
+            "batching": {
+                "enabled": self.batching,
+                "window_s": self.batch_window_s,
+                "max_batch": self.max_batch,
+            },
+        }
+        counters: dict = {
+            "queue_capacity": self.queue_capacity,
+        }
+        timings: dict = {
+            "transport_s": self.transport_s,
+            **{
+                f"phase_{k}_s": round(v, 6)
+                for k, v in sorted(self.perf.phase_s.items())
             },
         }
         if self.scheduler is not None:
-            record["scheduler"] = self.scheduler.stats()
+            detail["scheduler"] = self.scheduler.stats().to_dict()
+        if self.assembler is not None:
+            detail["batcher"] = self.assembler.stats().to_dict()
         if self.pool is not None:
-            record["workers"] = self.pool.stats()
-        return record
+            pool_stats = self.pool.stats()
+            detail["workers"] = pool_stats.to_dict()
+            run_s = pool_stats.timings.get("run_s", 0.0)
+            counters["amortized_run_s"] = (
+                round(run_s / served, 6) if served else None
+            )
+        return LayerStats(
+            layer="service",
+            requests=served,
+            counters=counters,
+            timings=timings,
+            detail=detail,
+        )

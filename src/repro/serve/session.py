@@ -36,6 +36,7 @@ from repro.core.program import AthenaProgram, lower
 from repro.fhe.backend import Backend, get_backend, use_backend
 from repro.fhe.params import TEST_LOOP, FheParams
 from repro.perf import ParallelMap, PerfRecorder
+from repro.serve.api import LayerStats
 
 __all__ = ["InferenceSession", "SessionCore", "SessionRuntime"]
 
@@ -144,9 +145,17 @@ class SessionRuntime:
         self.pmap = pmap
         self._lock = threading.Lock()
         self.requests = 0
+        #: Fused pipeline executions (a k-lane batch is one run, k requests).
+        self.runs = 0
+        self.max_lanes = 0
         self.run_s = 0.0
         self.latencies: list[float] = []
         self.last_perf: PerfRecorder | None = None
+
+    @property
+    def batch_capacity(self) -> int:
+        """Lanes one ciphertext can carry through this session's plan."""
+        return self.core.plan.batch_capacity
 
     def run(
         self,
@@ -155,42 +164,82 @@ class SessionRuntime:
         perf: PerfRecorder | None = None,
     ) -> np.ndarray:
         """One encrypted inference; returns centered integer outputs."""
+        return self.run_batch([x_q], cost, perf)[0]
+
+    def run_batch(
+        self,
+        xs: list[np.ndarray],
+        cost: LoopCost | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> list[np.ndarray]:
+        """One *fused* execution answering ``len(xs)`` requests at once.
+
+        The inputs share a single ciphertext (lane count bounded by the
+        plan's ``batch_capacity``), so the whole batch pays one five-step
+        loop per layer; per-request amortized cost is ``run_s / requests``.
+        A single-input batch is exactly the :meth:`run` op sequence.
+        Returns one centered integer output array per input, in order.
+        """
         core = self.core
         recorder = perf if perf is not None else PerfRecorder()
         with self._lock:
             previous = self.pipeline.perf
             self.pipeline.attach_perf(recorder)
             try:
-                out = self.pipeline.run_program(
-                    core.program, x_q, cost, pmap=self.pmap, plan=core.plan
+                outs = self.pipeline.run_batch(
+                    core.program, xs, cost, pmap=self.pmap, plan=core.plan
                 )
             finally:
                 self.pipeline.attach_perf(previous)
-            self.requests += 1
+            self.requests += len(xs)
+            self.runs += 1
+            self.max_lanes = max(self.max_lanes, len(xs))
             self.run_s += recorder.wall_s
             self.latencies.append(recorder.wall_s)
             self.last_perf = recorder
-        return out
+        return outs
 
-    def stats(self) -> dict:
-        """JSON-ready accounting: compile vs keygen vs run, p50/p99."""
+    def stats(self) -> LayerStats:
+        """Uniform-schema accounting: compile vs keygen vs run, p50/p99.
+
+        ``timings["amortized_request_s"]`` is run seconds divided by
+        *requests* (lanes), the cost-per-inference batching buys down;
+        ``mean_run_s`` and the percentiles are per fused *execution*.
+        """
         with self._lock:
             requests = self.requests
+            runs = self.runs
             run_s = self.run_s
             latencies = list(self.latencies)
+            max_lanes = self.max_lanes
         core = self.core
-        return {
-            "model": core.program.name,
-            "model_hash": core.fingerprint,
-            "backend": self.backend.name if self.backend is not None else None,
-            "compile_s": round(core.compile_s, 6),
-            "keygen_s": round(self.keygen_s, 6),
-            "requests": requests,
-            "run_s": round(run_s, 6),
-            "mean_run_s": round(run_s / requests, 6) if requests else None,
-            "run_p50_s": _percentile(latencies, 50),
-            "run_p99_s": _percentile(latencies, 99),
-        }
+        return LayerStats(
+            layer="session",
+            requests=requests,
+            counters={
+                "runs": runs,
+                "batch_capacity": self.batch_capacity,
+                "max_lanes": max_lanes,
+            },
+            timings={
+                "compile_s": round(core.compile_s, 6),
+                "keygen_s": round(self.keygen_s, 6),
+                "run_s": round(run_s, 6),
+                "mean_run_s": round(run_s / runs, 6) if runs else None,
+                "amortized_request_s": (
+                    round(run_s / requests, 6) if requests else None
+                ),
+                "run_p50_s": _percentile(latencies, 50),
+                "run_p99_s": _percentile(latencies, 99),
+            },
+            detail={
+                "model": core.program.name,
+                "model_hash": core.fingerprint,
+                "backend": (
+                    self.backend.name if self.backend is not None else None
+                ),
+            },
+        )
 
 
 class InferenceSession:
@@ -305,6 +354,15 @@ class InferenceSession:
         """One encrypted inference; returns centered integer outputs."""
         return self.runtime.run(x_q, cost, perf)
 
-    def stats(self) -> dict:
-        """JSON-ready session accounting: compile vs run phases, separated."""
+    def run_batch(
+        self,
+        xs: list[np.ndarray],
+        cost: LoopCost | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> list[np.ndarray]:
+        """Fused multi-image inference (see :meth:`SessionRuntime.run_batch`)."""
+        return self.runtime.run_batch(xs, cost, perf)
+
+    def stats(self) -> "LayerStats":
+        """Session accounting in the uniform :class:`LayerStats` schema."""
         return self.runtime.stats()

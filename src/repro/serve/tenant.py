@@ -53,6 +53,21 @@ class Tenant:
         if not self.tenant_id:
             raise ParameterError("tenant_id must be a non-empty string")
 
+    def key_domain(self) -> tuple:
+        """Hashable identity of this tenant's key material.
+
+        Every :class:`~repro.serve.session.SessionRuntime` derives its keys
+        deterministically from ``(params, seed)``, so two tenants with equal
+        key domains hold *identical* secret/evaluation keys and their
+        requests may legally share a ciphertext — the batching layer's
+        shared-key fast path. The pinned backend is included conservatively:
+        cross-tenant batches execute on one runtime, and folding a tenant
+        into a differently-pinned runtime would misattribute its op counts.
+        """
+        from repro.fhe.serialize import params_fingerprint
+
+        return (params_fingerprint(self.params).hex(), self.seed, self.backend)
+
     def key_inventory(self, ksk_digit_bits: int | None = None) -> KeyInventory:
         """Evaluation-key inventory this tenant's parameter set implies."""
         return build_inventory(self.params, ksk_digit_bits=ksk_digit_bits)

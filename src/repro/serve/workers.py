@@ -39,6 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 
 from repro.errors import ParameterError
 from repro.perf import ExecConfig, PerfRecorder
+from repro.serve.api import LayerStats
 from repro.serve.session import SessionCore, SessionRuntime
 
 __all__ = ["WorkerPool"]
@@ -56,11 +57,11 @@ def _process_init(payload: bytes) -> None:
     _PROCESS_RUNTIMES = {key: SessionRuntime(core) for key, core in cores.items()}
 
 
-def _process_run(key, x_q):
-    """One request inside a worker process; returns (output, run seconds)."""
+def _process_run_batch(key, xs):
+    """One fused batch inside a worker process; returns (outputs, seconds)."""
     runtime = _PROCESS_RUNTIMES[key]
-    out = runtime.run(x_q)
-    return out, runtime.last_perf.wall_s
+    outs = runtime.run_batch(xs)
+    return outs, runtime.last_perf.wall_s
 
 
 def _process_pid() -> int:
@@ -92,6 +93,8 @@ class WorkerPool:
         self._runtimes: dict[tuple[str, str], SessionRuntime] | None = None
         self._requests: dict[tuple[str, str], int] = {k: 0 for k in self.cores}
         self.run_s = 0.0
+        #: Fused executions dispatched (a k-lane batch counts once).
+        self.runs = 0
         self.started = False
 
     @property
@@ -139,33 +142,44 @@ class WorkerPool:
 
     # -- request execution -------------------------------------------------
 
-    def _run_local(self, key, x_q):
+    def _run_local_batch(self, key, xs):
         runtime = self._runtimes[key]
-        out = runtime.run(x_q)
-        return out, runtime.last_perf.wall_s
+        outs = runtime.run_batch(xs)
+        return outs, runtime.last_perf.wall_s
 
     async def run(self, key, x_q):
-        """Answer one request on a free worker; returns the output array.
+        """Answer one request on a free worker; returns the output array."""
+        return (await self.run_batch(key, [x_q]))[0]
+
+    async def run_batch(self, key, xs):
+        """Answer ``len(xs)`` co-batched requests with one fused execution.
 
         Awaitable from the service's dispatcher tasks: thread/process modes
         yield the event loop while the worker computes, serial mode runs
-        inline (blocking — deterministic by design).
+        inline (blocking — deterministic by design). Returns one output
+        array per input, in order; a single-input batch is exactly the
+        per-request op sequence.
         """
         if not self.started:
             raise ParameterError("worker pool is not started")
         if key not in self.cores:
             raise ParameterError(f"no session for tenant/model {key!r}")
         if self.config.mode == "serial":
-            out, run_s = self._run_local(key, x_q)
+            outs, run_s = self._run_local_batch(key, xs)
         else:
             loop = asyncio.get_running_loop()
-            fn = _process_run if self.config.mode == "process" else self._run_local
-            out, run_s = await loop.run_in_executor(self._executor, fn, key, x_q)
-        self._requests[key] += 1
+            fn = (
+                _process_run_batch
+                if self.config.mode == "process"
+                else self._run_local_batch
+            )
+            outs, run_s = await loop.run_in_executor(self._executor, fn, key, xs)
+        self._requests[key] += len(xs)
+        self.runs += 1
         self.run_s += run_s
         if self.perf is not None:
             self.perf.add_time("run", run_s)
-        return out
+        return outs
 
     # -- accounting --------------------------------------------------------
 
@@ -182,20 +196,24 @@ class WorkerPool:
             )
         return self._runtimes[key]
 
-    def stats(self) -> dict:
-        """JSON-ready pool accounting."""
-        record = {
+    def stats(self) -> LayerStats:
+        """Pool accounting in the uniform layer schema."""
+        detail: dict = {
             "mode": self.config.mode,
-            "workers": self.slots,
-            "run_s": round(self.run_s, 6),
-            "requests": {
+            "per_session_requests": {
                 f"{tenant}/{model}": count
                 for (tenant, model), count in sorted(self._requests.items())
             },
         }
         if self._runtimes is not None:
-            record["sessions"] = {
-                f"{tenant}/{model}": runtime.stats()
+            detail["sessions"] = {
+                f"{tenant}/{model}": runtime.stats().to_dict()
                 for (tenant, model), runtime in sorted(self._runtimes.items())
             }
-        return record
+        return LayerStats(
+            layer="workers",
+            requests=sum(self._requests.values()),
+            counters={"workers": self.slots, "runs": self.runs},
+            timings={"run_s": round(self.run_s, 6)},
+            detail=detail,
+        )

@@ -163,7 +163,7 @@ class TestInferenceSession:
             want = qm.forward_int(x_q[None])[0]
             assert np.abs(got - want).max() <= 2
         stats = session.stats()
-        assert stats["requests"] == 2
-        assert stats["compile_s"] > 0 and stats["run_s"] > 0
+        assert stats.requests == 2
+        assert stats.timings["compile_s"] > 0 and stats.timings["run_s"] > 0
         # Warm requests never pay the compile phase.
         assert "compile" not in session.last_perf.phase_s

@@ -1,13 +1,15 @@
-"""The layered serving stack: tenants, scheduler, workers, service façade.
+"""The layered serving stack: tenants, scheduler, batching, workers, service.
 
 Fast tests pin each layer's contract in isolation — admission control and
-fair dequeue (pure asyncio, no ciphertexts), crash-safe plan persistence,
-the sharded/in-memory cache, the picklable session core, and the service's
-registration/validation rules. The ``slow``-marked tests drive real
-ciphertext inference through the full stack on the TEST_FBS micro model:
-multi-tenant isolation, queue-full shedding against a live service, the
-process worker pool, and the headline guarantee that service outputs are
-bit-identical to direct :class:`InferenceSession` runs.
+fair dequeue (pure asyncio, no ciphertexts), batch assembly and the
+shared-key fast path, crash-safe plan persistence, the sharded/in-memory
+cache, the picklable session core, the typed request/response dataclasses,
+and the service's registration/validation rules. The ``slow``-marked tests
+drive real ciphertext inference through the full stack on the TEST_FBS
+micro models: multi-tenant isolation, queue-full shedding against a live
+service, the process worker pool, cross-request ciphertext batching, and
+the headline guarantee that service outputs are bit-identical to direct
+:class:`InferenceSession` runs.
 """
 
 from __future__ import annotations
@@ -24,8 +26,12 @@ from repro.fhe.params import TEST_FBS, TEST_LOOP
 from repro.perf import ExecConfig, PerfRecorder
 from repro.serve import (
     AthenaService,
+    BatchAssembler,
     FairScheduler,
+    InferenceRequest,
+    InferenceResult,
     InferenceSession,
+    LayerStats,
     PlanCache,
     ServiceRequest,
     SessionCore,
@@ -33,7 +39,7 @@ from repro.serve import (
     Tenant,
     TenantRegistry,
 )
-from repro.serve.loadgen import serve_micro_cnn
+from repro.serve.loadgen import pack_cnn, serve_micro_cnn
 
 
 def _request(tenant_id: str, model: str = "m") -> ServiceRequest:
@@ -84,6 +90,53 @@ class TestTenantLayer:
         )
         assert registry.ids() == ["z", "a"]
 
+    def test_key_domain_shared_iff_params_seed_backend_match(self):
+        base = Tenant("a", TEST_FBS, seed=7)
+        assert base.key_domain() == Tenant("b", TEST_FBS, seed=7).key_domain()
+        assert base.key_domain() != Tenant("c", TEST_FBS, seed=8).key_domain()
+        assert base.key_domain() != Tenant("d", TEST_LOOP, seed=7).key_domain()
+        assert base.key_domain() != (
+            Tenant("e", TEST_FBS, seed=7, backend="serial").key_domain()
+        )
+
+
+# -- typed request/response API ----------------------------------------------
+
+
+class TestTypedApi:
+    def test_request_ids_are_unique_and_auto_assigned(self):
+        a = InferenceRequest("t", "m", np.zeros(1, dtype=np.int64))
+        b = InferenceRequest("t", "m", np.zeros(1, dtype=np.int64))
+        assert a.request_id != b.request_id
+        assert a.request_id.startswith("req-")
+        assert a.enqueued_at > 0 and a.dequeued_at is None
+
+    def test_service_request_alias_is_the_typed_request(self):
+        # One-release compatibility alias for the old tuple-era name.
+        assert ServiceRequest is InferenceRequest
+
+    def test_result_defaults_describe_a_solo_run(self):
+        result = InferenceResult(
+            request_id="req-000001", tenant_id="t", model="m",
+            output=np.zeros(1, dtype=np.int64),
+        )
+        assert result.lane == 0 and result.batch_size == 1
+        assert result.batch_id == "" and result.timings == {}
+
+    def test_layer_stats_to_dict_schema(self):
+        stats = LayerStats(
+            layer="demo", requests=3,
+            counters={"runs": 2},
+            timings={"run_s": 1.23456789, "missing": None},
+            detail={"nested": True},
+        )
+        d = stats.to_dict()
+        assert d["schema_version"] == 1
+        assert d["layer"] == "demo" and d["requests"] == 3
+        assert d["counters"] == {"runs": 2}
+        assert d["timings"] == {"run_s": 1.234568, "missing": None}
+        assert d["detail"] == {"nested": True}
+
 
 # -- scheduler layer ---------------------------------------------------------
 
@@ -93,8 +146,12 @@ class TestFairScheduler:
         sched = FairScheduler(["a", "b"], capacity=2)
         sched.submit(_request("a"))
         sched.submit(_request("a"))
-        with pytest.raises(ServiceOverloaded):
+        with pytest.raises(ServiceOverloaded) as excinfo:
             sched.submit(_request("a"))
+        # The shed exception carries the payload a client needs to back off.
+        assert excinfo.value.tenant_id == "a"
+        assert excinfo.value.depth == 2
+        assert excinfo.value.capacity == 2
         # Tenant a flooding its queue must not shed tenant b.
         sched.submit(_request("b"))
         assert sched.depth("a") == 2 and sched.depth("b") == 1
@@ -158,9 +215,126 @@ class TestFairScheduler:
         sched = FairScheduler(["a", "b"], capacity=3)
         sched.submit(_request("a"))
         stats = sched.stats()
-        assert stats["capacity_per_tenant"] == 3
-        assert stats["queue_depth"] == stats["queue_depth_max"] == 1
-        assert stats["per_tenant_depth"] == {"a": 1, "b": 0}
+        assert isinstance(stats, LayerStats) and stats.layer == "scheduler"
+        assert stats.requests == 1
+        counters = stats.counters
+        assert counters["queue_depth"] == counters["queue_depth_max"] == 1
+        assert stats.detail["capacity_per_tenant"] == 3
+        assert stats.detail["per_tenant_depth"] == {"a": 1, "b": 0}
+        assert stats.to_dict()["schema_version"] == 1
+
+    def test_take_matching_pops_only_matching_heads(self):
+        sched = FairScheduler(["a", "b"], capacity=8)
+        first_a, second_a = _request("a"), _request("a")
+        first_b = _request("b", model="other")
+        for req in (first_a, second_a, first_b):
+            sched.submit(req)
+        taken = sched.take_matching(lambda r: r.model == "m", limit=8)
+        # Both of a's queued requests match; b's head does not, and
+        # take_matching never digs past a non-matching head (FIFO per
+        # tenant is preserved).
+        assert taken == [first_a, second_a]
+        assert all(r.dequeued_at is not None for r in taken)
+        assert sched.depth("a") == 0 and sched.depth("b") == 1
+
+
+# -- batch assembly ----------------------------------------------------------
+
+
+def _assembler(sched, capacity, window_s=0.0):
+    return BatchAssembler(
+        sched,
+        capacity_for=lambda request: capacity,
+        group_key=lambda request: (request.tenant_id, request.model),
+        window_s=window_s,
+    )
+
+
+class TestBatchAssembler:
+    def test_groups_compatible_queued_requests_up_to_capacity(self):
+        sched = FairScheduler(["a"], capacity=8)
+        reqs = [_request("a") for _ in range(3)]
+        for req in reqs:
+            sched.submit(req)
+        sched.close()
+
+        async def drain():
+            assembler = _assembler(sched, capacity=2)
+            batches = []
+            while (batch := await assembler.next_batch()) is not None:
+                batches.append(batch)
+            return assembler, batches
+
+        assembler, batches = asyncio.run(drain())
+        assert [b.size for b in batches] == [2, 1]
+        assert batches[0].requests == reqs[:2]
+        assert batches[0].batch_id != batches[1].batch_id
+        assert assembler.occupancy_mean == 1.5
+        stats = assembler.stats()
+        assert stats.layer == "batcher" and stats.requests == 3
+        assert stats.counters["batches"] == 2
+        assert stats.counters["occupancy_max"] == 2
+
+    def test_incompatible_requests_never_share_a_batch(self):
+        sched = FairScheduler(["a", "b"], capacity=8)
+        sched.submit(_request("a"))
+        sched.submit(_request("b"))
+        sched.close()
+
+        async def drain():
+            assembler = _assembler(sched, capacity=4)
+            batches = []
+            while (batch := await assembler.next_batch()) is not None:
+                batches.append(batch)
+            return batches
+
+        batches = asyncio.run(drain())
+        # Distinct group keys (different tenants here): solo batches.
+        assert [b.size for b in batches] == [1, 1]
+
+    def test_window_admits_late_co_riders(self):
+        async def scenario():
+            sched = FairScheduler(["a"], capacity=8)
+            assembler = _assembler(sched, capacity=2, window_s=5.0)
+            sched.submit(_request("a"))
+            task = asyncio.create_task(assembler.next_batch())
+            await asyncio.sleep(0)  # leader dequeued, window open
+            sched.submit(_request("a"))
+            batch = await asyncio.wait_for(task, timeout=2.0)
+            return batch
+
+        batch = asyncio.run(scenario())
+        # The second request arrived after the leader was dequeued but
+        # inside the window: it rides along instead of paying its own run.
+        assert batch.size == 2
+
+    def test_capacity_one_skips_the_window(self):
+        async def scenario():
+            sched = FairScheduler(["a"], capacity=8)
+            assembler = _assembler(sched, capacity=1, window_s=60.0)
+            sched.submit(_request("a"))
+            batch = await asyncio.wait_for(
+                assembler.next_batch(), timeout=2.0
+            )
+            return assembler, batch
+
+        assembler, batch = asyncio.run(scenario())
+        assert batch.size == 1
+        assert assembler.window_waits == 0
+
+    def test_close_cuts_the_window_short(self):
+        async def scenario():
+            sched = FairScheduler(["a"], capacity=8)
+            assembler = _assembler(sched, capacity=2, window_s=60.0)
+            sched.submit(_request("a"))
+            task = asyncio.create_task(assembler.next_batch())
+            await asyncio.sleep(0)
+            sched.close()
+            return await asyncio.wait_for(task, timeout=2.0)
+
+        batch = asyncio.run(scenario())
+        # A closed scheduler will never supply co-riders: dispatch solo now.
+        assert batch.size == 1
 
 
 # -- crash-safe plan persistence --------------------------------------------
@@ -310,7 +484,15 @@ class TestServiceValidation:
     def test_submit_requires_started_service(self):
         service = AthenaService([Tenant("a", TEST_FBS)])
         with pytest.raises(ParameterError):
-            service.submit_nowait("a", "micro", np.zeros((1, 4, 4)))
+            service.submit_nowait(
+                InferenceRequest("a", "micro", np.zeros((1, 4, 4)))
+            )
+
+    def test_mixing_typed_and_positional_args_rejected(self):
+        service = AthenaService([Tenant("a", TEST_FBS)])
+        request = InferenceRequest("a", "micro", np.zeros((1, 4, 4)))
+        with pytest.raises(ParameterError):
+            service.submit_nowait(request, "micro")
 
 
 # -- full-stack, real ciphertexts --------------------------------------------
@@ -335,12 +517,10 @@ class TestServiceEndToEnd:
         )
         service.register_model("micro", qm)
         batch = [
-            ("alice", "micro", _micro_input(rng)),
-            ("bob", "micro", _micro_input(rng)),
-            ("alice", "micro", _micro_input(rng)),
-            ("bob", "micro", _micro_input(rng)),
+            InferenceRequest(tid, "micro", _micro_input(rng))
+            for tid in ("alice", "bob", "alice", "bob")
         ]
-        outputs = service.serve_batch(batch)
+        results = service.serve_batch(batch)
 
         # Replay each tenant's request stream through a direct session with
         # the same seed: same keys, same encryption-randomness stream, so
@@ -354,26 +534,138 @@ class TestServiceEndToEnd:
             session = InferenceSession(
                 qm, TEST_FBS, seed=tenant.seed, backend=tenant.backend
             )
-            for out, (tid, _, x_q) in zip(outputs, batch):
-                if tid != tenant.tenant_id:
+            for result, request in zip(results, batch):
+                if result.tenant_id != tenant.tenant_id:
                     continue
-                direct = session.run(x_q)
-                assert np.array_equal(out, direct)
-                want = qm.forward_int(x_q[None])[0]
+                assert result.request_id == request.request_id
+                assert result.model == "micro"
+                # micro's plan cannot lane-pack (span > n/2): solo batches.
+                assert result.batch_size == 1 and result.lane == 0
+                assert result.timings["total_s"] >= result.timings["run_s"]
+                direct = session.run(request.x_q)
+                assert np.array_equal(result.output, direct)
+                want = qm.forward_int(request.x_q[None])[0]
                 assert np.abs(direct - want).max() <= 2
             # Satellite guarantee: per-request latency percentiles exist.
             stats = session.stats()
-            assert stats["requests"] == 2
-            assert 0 < stats["run_p50_s"] <= stats["run_p99_s"]
+            assert stats.requests == 2
+            assert 0 < stats.timings["run_p50_s"] <= stats.timings["run_p99_s"]
             assert len(session.latencies) == 2
 
         stats = service.stats()
-        assert stats["tenants"]["alice"]["requests"] == 2
-        assert stats["tenants"]["bob"]["requests"] == 2
-        assert stats["scheduler"]["rejected"] == 0
+        assert isinstance(stats, LayerStats) and stats.layer == "service"
+        assert stats.requests == 4
+        detail = stats.detail
+        assert detail["tenants"]["alice"]["requests"] == 2
+        assert detail["tenants"]["bob"]["requests"] == 2
+        assert detail["scheduler"]["counters"]["rejected"] == 0
+        # Every layer reports through the same schema version.
+        nested = [detail["scheduler"], detail["batcher"], detail["workers"]]
+        assert {layer["schema_version"] for layer in nested} == {1}
         # Both tenants run the same model under the same params: one
         # compile, one shared plan.
-        assert stats["plan_cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert detail["plan_cache"] == {
+            "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
+
+    def test_batched_outputs_bit_identical_to_single_runs(self):
+        """Cross-tenant lane packing changes cost, never bits.
+
+        The pack model fits two lanes per TEST_FBS ciphertext and its
+        weights keep every LUT input a full quantization step from a
+        rounding boundary, so plain integer inference, direct single-image
+        sessions, and the batched service path must agree exactly.
+        """
+        qm = pack_cnn(np.random.default_rng(5))
+        rng = np.random.default_rng(23)
+        # One key domain: same params, same seed => cross-tenant batches.
+        tenants = [
+            Tenant("alice", TEST_FBS, seed=9), Tenant("bob", TEST_FBS, seed=9)
+        ]
+        service = AthenaService(
+            tenants,
+            exec_config=ExecConfig("serial"),
+            queue_capacity=4,
+            batch_window_s=1.0,
+        )
+        service.register_model("pack", qm)
+        xs = [
+            rng.integers(-2, 3, (1, 3, 3)).astype(np.int64) for _ in range(4)
+        ]
+        batch = [
+            InferenceRequest(tid, "pack", x)
+            for tid, x in zip(("alice", "bob", "alice", "bob"), xs)
+        ]
+        results = service.serve_batch(batch)
+
+        # serve_batch admits everything up front, so both 2-lane batches
+        # fill straight from the queue.
+        assert [r.batch_size for r in results] == [2, 2, 2, 2]
+        assert [r.lane for r in results] == [0, 1, 0, 1]
+        assert results[0].batch_id == results[1].batch_id
+        assert results[2].batch_id == results[3].batch_id
+        assert results[0].batch_id != results[2].batch_id
+
+        singles = [
+            InferenceSession(qm, TEST_FBS, seed=9).run(x) for x in xs
+        ]
+        for result, x, single in zip(results, xs, singles):
+            want = qm.forward_int(x[None])[0]
+            assert np.array_equal(single, want)
+            assert np.array_equal(result.output, want)
+
+        stats = service.stats()
+        batcher = stats.detail["batcher"]
+        assert batcher["counters"]["batches"] == 2
+        assert batcher["counters"]["occupancy_max"] == 2
+        assert batcher["detail"]["occupancy_mean"] == 2.0
+        workers = stats.detail["workers"]
+        assert workers["counters"]["runs"] == 2 and workers["requests"] == 4
+
+    def test_batching_respects_distinct_key_domains(self):
+        """Different seeds => different keys => no shared ciphertexts."""
+        qm = pack_cnn(np.random.default_rng(5))
+        rng = np.random.default_rng(29)
+        service = AthenaService(
+            [Tenant("alice", TEST_FBS, seed=1), Tenant("bob", TEST_FBS, seed=2)],
+            exec_config=ExecConfig("serial"),
+            queue_capacity=4,
+            batch_window_s=0.05,
+        )
+        service.register_model("pack", qm)
+        batch = [
+            InferenceRequest(tid, "pack",
+                             rng.integers(-2, 3, (1, 3, 3)).astype(np.int64))
+            for tid in ("alice", "bob", "alice", "bob")
+        ]
+        results = service.serve_batch(batch)
+        # Same-tenant requests may still pair; alice/bob never mix.
+        for result, request in zip(results, batch):
+            assert np.array_equal(
+                result.output, qm.forward_int(request.x_q[None])[0]
+            )
+        by_batch: dict[str, set[str]] = {}
+        for result in results:
+            by_batch.setdefault(result.batch_id, set()).add(result.tenant_id)
+        assert all(len(tids) == 1 for tids in by_batch.values())
+
+    def test_legacy_positional_api_warns_and_returns_arrays(self):
+        """One-release shim: the tuple-era call sites keep working."""
+        qm = _micro_model()
+        rng = np.random.default_rng(31)
+        service = AthenaService(
+            [Tenant("a", TEST_FBS, seed=1)],
+            exec_config=ExecConfig("serial"),
+            queue_capacity=2,
+        )
+        service.register_model("micro", qm)
+        x_q = _micro_input(rng)
+        with pytest.warns(DeprecationWarning, match="InferenceRequest"):
+            outputs = service.serve_batch([("a", "micro", x_q)])
+        assert isinstance(outputs[0], np.ndarray)
+        assert np.array_equal(
+            outputs[0], InferenceSession(qm, TEST_FBS, seed=1).run(x_q)
+        )
 
     def test_queue_full_sheds_against_live_service(self):
         qm = _micro_model()
@@ -385,28 +677,36 @@ class TestServiceEndToEnd:
         )
         service.register_model("micro", qm)
 
+        def submit():
+            return service.submit_nowait(
+                InferenceRequest("a", "micro", _micro_input(rng))
+            )
+
         async def scenario():
             await service.start()
             try:
-                accepted = [service.submit_nowait("a", "micro", _micro_input(rng))]
-                shed = 0
+                accepted = [submit()]
+                shed = []
                 for _ in range(3):
                     try:
-                        accepted.append(
-                            service.submit_nowait("a", "micro", _micro_input(rng))
-                        )
-                    except ServiceOverloaded:
-                        shed += 1
-                outs = await asyncio.gather(*accepted)
-                return shed, outs
+                        accepted.append(submit())
+                    except ServiceOverloaded as exc:
+                        shed.append(exc)
+                results = await asyncio.gather(*accepted)
+                return shed, results
             finally:
                 await service.stop()
 
-        shed, outs = asyncio.run(scenario())
+        shed, results = asyncio.run(scenario())
         # All submits land synchronously before the dispatcher runs: the
-        # first fills the depth-1 queue, the rest are shed at admission.
-        assert shed == 3 and len(outs) == 1
-        assert service.scheduler.stats()["rejected"] == 3
+        # first fills the depth-1 queue, the rest are shed at admission —
+        # each rejection carrying the payload a client backs off on.
+        assert len(shed) == 3 and len(results) == 1
+        assert all(
+            (exc.tenant_id, exc.depth, exc.capacity) == ("a", 1, 1)
+            for exc in shed
+        )
+        assert service.scheduler.stats().counters["rejected"] == 3
 
     def test_process_pool_answers_warm(self):
         qm = _micro_model()
@@ -418,13 +718,20 @@ class TestServiceEndToEnd:
         )
         service.register_model("micro", qm)
         x_a, x_b = _micro_input(rng), _micro_input(rng)
-        out_a, out_b = service.serve_batch(
-            [("a", "micro", x_a), ("b", "micro", x_b)]
+        res_a, res_b = service.serve_batch(
+            [
+                InferenceRequest("a", "micro", x_a),
+                InferenceRequest("b", "micro", x_b),
+            ]
         )
         # Process workers derive the same keys from the tenant seeds, so
         # outputs match fresh same-seed sessions in the parent exactly.
-        assert np.array_equal(out_a, InferenceSession(qm, TEST_FBS, seed=1).run(x_a))
-        assert np.array_equal(out_b, InferenceSession(qm, TEST_FBS, seed=2).run(x_b))
+        assert np.array_equal(
+            res_a.output, InferenceSession(qm, TEST_FBS, seed=1).run(x_a)
+        )
+        assert np.array_equal(
+            res_b.output, InferenceSession(qm, TEST_FBS, seed=2).run(x_b)
+        )
         # Runtimes live in the worker processes, not the parent.
         with pytest.raises(ParameterError):
             service.pool.runtime_for(("a", "micro"))
