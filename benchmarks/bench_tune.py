@@ -1,0 +1,39 @@
+"""Autotuner benchmark: predicted vs measured encoding-choice wins.
+
+Runs the compile-time encoding autotuner (:mod:`repro.core.tune`) on the
+micro bench subjects under a global refresh chunk, compiles default and
+tuned plans, executes both through the real-ciphertext pipeline under a
+CountingBackend, and leaves a ``BENCH_tune.json`` artifact (per-layer
+chosen encodings, predicted + measured mod_muls, wall times). The CI
+``tune-bench`` job runs the same harness via ``repro.perf.bench`` and
+gates on the records.
+"""
+
+import json
+
+from repro.perf.bench import TUNE_SUBJECTS, run_tune_bench
+
+
+def test_bench_tune(once, tmp_path):
+    out = tmp_path / "BENCH_tune.json"
+    records = once(run_tune_bench, out=str(out))
+    print("\n" + json.dumps(records, indent=2))
+    assert [r["bench"] for r in records] == list(TUNE_SUBJECTS)
+    for r in records:
+        # The tuner's core guarantee: never worse than the default plan,
+        # in the cost model and in executed ops.
+        assert (r["predicted_tuned_mod_muls"]
+                <= r["predicted_default_mod_muls"]), r
+        assert (r["measured_tuned_mod_muls"]
+                <= r["measured_default_mod_muls"]), r
+        assert r["max_abs_error_tuned"] <= 2, r
+        # A non-empty tuning config must change the plan fingerprint
+        # (the cache key), an empty one must not.
+        assert r["fingerprints_differ"] == bool(r["tuning"]), r
+        assert r["layers"], r
+    # The headline subject has a strict predicted AND measured win: the
+    # tuner opts the conv refresh out of the global chunk cap.
+    mnist = records[0]
+    assert mnist["tuning"], mnist
+    assert (mnist["measured_tuned_mod_muls"]
+            < mnist["measured_default_mod_muls"]), mnist

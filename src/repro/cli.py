@@ -10,7 +10,10 @@ Commands:
                                ``--plan`` runs the warm-session
                                real-ciphertext path from a compiled plan.
 * ``compile``                — precompute a CompiledProgram artifact
-                               (kernels, LUT polynomials, BSGS/S2C plans).
+                               (kernels, LUT polynomials, BSGS/S2C plans);
+                               ``--tune`` bakes in autotuned encodings.
+* ``tune``                   — cost-model encoding autotuner: per-step
+                               strategy/chunk/BSGS picks + predicted savings.
 * ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json
                                (includes cold-compile vs warm-run walls and
                                per-phase executed op counts; ``--backend``
@@ -39,7 +42,7 @@ import argparse
 import json
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UnsupportedLayer
 
 EXIT_OK = 0
 EXIT_FAILURE = 1
@@ -148,22 +151,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _cmd_compile(args: argparse.Namespace) -> int:
-    """Compile the micro benchmark model into an on-disk plan artifact."""
-    import time
+_TUNE_SUBJECTS = ["mnist_cnn", "resnet20_block"]
 
+
+def _tune_subject(name: str):
+    """Micro bench model for a ``repro tune`` / ``repro compile`` subject."""
     import numpy as np
+
+    from repro.perf.bench import mnist_cnn_micro, resnet_block_micro
+
+    builder = resnet_block_micro if name == "resnet20_block" else mnist_cnn_micro
+    return builder(np.random.default_rng(5))
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a micro benchmark model into an on-disk plan artifact."""
+    import time
 
     from repro.core.plan import compile_program
     from repro.core.program import lower
     from repro.fhe.params import get_params
     from repro.fhe.serialize import dump_plan
-    from repro.perf.bench import mnist_cnn_micro
 
     params = get_params(args.params)
-    program = lower(mnist_cnn_micro(np.random.default_rng(5)), params)
+    program = lower(_tune_subject(args.model), params)
+    tuning = None
+    if args.tune:
+        from repro.core.tune import tune_program
+
+        tuning = tune_program(program, params, chunk=args.chunk).tuning
     start = time.perf_counter()
-    plan = compile_program(program, params, chunk=args.chunk)
+    plan = compile_program(program, params, chunk=args.chunk, tuning=tuning)
     compile_s = time.perf_counter() - start
     raw = dump_plan(plan)
     out = args.out or f"{program.name}.plan"
@@ -173,6 +191,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         "model": program.name,
         "params": args.params,
         "chunk": args.chunk,
+        "tuned": bool(args.tune),
+        "tuning": tuning.tag() if tuning else None,
         "model_hash": plan.model_hash,
         "compile_s": round(compile_s, 6),
         "bytes": len(raw),
@@ -181,11 +201,71 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.json:
         sys.stdout.write(json.dumps(payload, indent=2) + "\n")
     else:
+        tuned = f" (tuned: {tuning.tag()})" if tuning else ""
         sys.stdout.write(
             f"compiled {program.name} @ {args.params} in {compile_s:.3f}s "
-            f"({len(raw)} bytes) -> {out}\n"
+            f"({len(raw)} bytes) -> {out}{tuned}\n"
             f"  model hash: {plan.model_hash}\n"
         )
+    return EXIT_OK
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run the encoding autotuner and report per-step picks + predicted cost."""
+    from repro.core.program import lower
+    from repro.core.tune import tune_program
+    from repro.fhe.params import get_params
+
+    if args.bench_out:
+        from repro.perf.bench import run_tune_bench
+
+        records = run_tune_bench(
+            out=args.bench_out,
+            chunk=args.chunk if args.chunk is not None else 16,
+        )
+        lines = [f"wrote {args.bench_out}"]
+        for r in records:
+            lines.append(
+                f"  {r['bench']}: predicted "
+                f"{r['predicted_default_mod_muls']:.3e} -> "
+                f"{r['predicted_tuned_mod_muls']:.3e} mod_muls, measured "
+                f"{r['measured_default_mod_muls']:.3e} -> "
+                f"{r['measured_tuned_mod_muls']:.3e}, wall "
+                f"{r['default_wall_s']:.2f}s -> {r['tuned_wall_s']:.2f}s"
+                + (f" [{r['tuning']}]" if r["tuning"] else " [default]")
+            )
+        text = "\n".join(lines) + "\n"
+        if args.json:
+            sys.stdout.write(json.dumps(records, indent=2) + "\n")
+        else:
+            sys.stdout.write(text)
+        return EXIT_OK
+
+    params = get_params(args.params)
+    program = lower(_tune_subject(args.model), params)
+    result = tune_program(program, params, chunk=args.chunk)
+    report = result.report()
+    saving = report["predicted_saving_mod_muls"]
+    pct = (
+        100.0 * saving / report["predicted_default_mod_muls"]
+        if report["predicted_default_mod_muls"]
+        else 0.0
+    )
+    lines = [
+        f"{program.name} @ {args.params}"
+        + (f", chunk={args.chunk}" if args.chunk else ""),
+        f"  predicted default : {report['predicted_default_mod_muls']:.3e} mod_muls",
+        f"  predicted tuned   : {report['predicted_tuned_mod_muls']:.3e} mod_muls",
+        f"  predicted saving  : {saving:.3e} mod_muls ({pct:.1f}%)",
+    ]
+    for row in report["steps"]:
+        mark = "->" if row["improved"] else "  "
+        lines.append(
+            f"  {mark} {row['name']:<16} {row['kind']:<8} "
+            f"{row['default']:<16} -> {row['chosen']:<16} "
+            f"({row['candidates']} candidates)"
+        )
+    _emit(args, "\n".join(lines) + "\n", report)
     return EXIT_OK
 
 
@@ -515,15 +595,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", parents=[seed],
                        help="precompute a CompiledProgram plan artifact")
+    p.add_argument("--model", default="mnist_cnn", choices=_TUNE_SUBJECTS,
+                   help="micro bench subject (default: mnist_cnn)")
     p.add_argument("--params", default="test-loop",
                    help="parameter preset (default: test-loop)")
     p.add_argument("--chunk", type=int, default=None,
                    help="LWE outputs per refresh tile (default: unchunked)")
+    p.add_argument("--tune", action="store_true",
+                   help="run the encoding autotuner first and bake its "
+                        "per-step choices into the plan (changes the "
+                        "fingerprint)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="artifact path (default: <model>.plan)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON summary")
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("tune", parents=[output],
+                       help="cost-model encoding autotuner (per-step picks)")
+    p.add_argument("--model", default="mnist_cnn", choices=_TUNE_SUBJECTS,
+                   help="micro bench subject (default: mnist_cnn)")
+    p.add_argument("--params", default="test-loop",
+                   help="parameter preset (default: test-loop)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="global LWE outputs per refresh tile the tuner may "
+                        "override per step (default: unchunked)")
+    p.add_argument("--bench-out", metavar="PATH", default=None,
+                   help="run the full predicted-vs-measured harness over "
+                        "all subjects and write BENCH_tune.json to PATH")
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("bench", parents=[seed, output],
                        help="pipeline + RNS benchmarks (BENCH_pipeline.json)")
@@ -620,6 +720,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except UnsupportedLayer as exc:
+        where = "" if exc.index is None else f" at layer {exc.index}"
+        what = "" if exc.layer_type is None else f" ({exc.layer_type})"
+        print(f"repro: error: unsupported layer{where}{what}: {exc}",
+              file=sys.stderr)
+        return EXIT_FAILURE
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return EXIT_FAILURE

@@ -160,6 +160,36 @@ def valid_output_positions(
     return idx
 
 
+def grid_output_positions(
+    cout: int, cin: int, gh: int, gw: int, wk: int, stride: int,
+    oh: int, ow: int, oy: int, ox: int,
+) -> np.ndarray:
+    """Valid-output positions for a conv reading an interior image window.
+
+    Generalizes :func:`valid_output_positions` to a feature layout whose
+    image sits at offset ``(oy, ox)`` inside a ``(gh, gw)`` coefficient
+    grid with exact zeros outside the image (the invariant every refresh
+    round's placed packing maintains). The conv's output sample ``(cp, a,
+    b)`` then lives at ``t_index - cp*cin*gh*gw + (oy + a*stride)*gw +
+    (ox + b*stride)`` — with ``(gh, gw)`` equal to the padded input and
+    ``oy = ox = 0`` this is exactly :func:`valid_output_positions`.
+    ``oy``/``ox`` here are the window origin *after* subtracting the
+    conv's own pad from the layout offset; the caller guarantees
+    ``oy, ox >= 0`` (the layout's interior margin covers the pad).
+    """
+    ghw = gh * gw
+    t_index = ghw * (cout * cin - 1) + gw * (wk - 1) + wk - 1
+    idx = np.empty(cout * oh * ow, dtype=np.int64)
+    pos = 0
+    for cp in range(cout):
+        base = t_index - cp * cin * ghw
+        for a in range(oh):
+            for b in range(ow):
+                idx[pos] = base + (oy + a * stride) * gw + (ox + b * stride)
+                pos += 1
+    return idx
+
+
 # ---------------------------------------------------------------------------
 # Packing plans (Table 2 + op counts for the complexity/trace models)
 # ---------------------------------------------------------------------------

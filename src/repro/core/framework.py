@@ -26,7 +26,16 @@ from functools import partial
 import numpy as np
 
 from repro.core.encoding import encode_features
-from repro.core.plan import CompiledLinear, CompiledProgram, TilePlan, compile_program
+from repro.core.plan import (
+    CompiledLinear,
+    CompiledPool,
+    CompiledProgram,
+    CompiledRemap,
+    CompiledResidual,
+    MaxRound,
+    TilePlan,
+    compile_program,
+)
 from repro.fhe.slots import pack_lane_coeffs
 from repro.core.program import (
     AthenaProgram,
@@ -336,15 +345,20 @@ class CiphertextExecutor(ProgramExecutor):
 
     The *first* linear step receives the raw quantized input array and
     performs the client-side encode (including any zero-padding) + encrypt.
-    Interior convolutions must be pad-free: after S2C the previous round's
-    outputs sit at coefficients ``0..count-1`` in exactly the Eq. 1 feature
-    layout (extraction order is output-channel-major, matching
-    :func:`encode_features`), so layer chaining is layout-free only on the
-    unpadded grid.
+    Interior layers chain through the plan's feature layouts: each refresh
+    round *places* its LWE samples directly onto the next consumer's
+    required rows (compact Eq. 1 order for plain conv/FC chains — the
+    historical, byte-identical path — or a padded interior grid whose
+    exact-zero margin supplies the next convolution's zero padding).
 
-    Pooling, residual joins, and MAC-domain max-pool fusion need ciphertext
-    machinery (rotation-based repacking) this reduced-parameter backend does
-    not implement; those steps raise :class:`ParameterError`.
+    MAC-domain max-pool fusion replays the plan's :class:`MaxRound` tree
+    (``max(a, b) = b + relu(a - b)`` per level, one exact monomial shift +
+    one ReLU refresh round each); average/global pooling runs as a
+    depthwise all-ones PMult followed by a division-LUT refresh; residual
+    joins add the branch ciphertexts (``main + alpha * skip``) and refresh
+    through the block's wide-scale LUT. Steps whose artifacts did not fit
+    the parameter set are opaque in the plan and raise
+    :class:`ParameterError` only when actually reached.
 
     With ``chunk`` set, a layer whose output count exceeds the cap is
     refreshed as several independent five-step tiles (extract -> pack ->
@@ -384,6 +398,15 @@ class CiphertextExecutor(ProgramExecutor):
                     f"requested {chunk}"
                 )
             plan.bind(program, pipe.params)
+            if plan.needs_upgrade():
+                # Wire-form plans carry stubs for the complex steps (their
+                # artifacts are cheaper to rebuild than to ship); recompile
+                # once under the plan's own tuning.
+                with pipe._dispatch(), pipe._phase("compile"):
+                    plan = compile_program(
+                        program, pipe.params, chunk=plan.chunk,
+                        tuning=plan.tuning,
+                    )
         if lanes > 1:
             if plan.chunk is not None:
                 raise ParameterError(
@@ -398,26 +421,49 @@ class CiphertextExecutor(ProgramExecutor):
         self.plan = plan
         self.chunk = plan.chunk
         self.lanes = lanes
-        #: Satellite of the plan split: steps resolve to artifacts by their
-        #: *index* in the program (``id()`` keys broke across re-lowering).
-        self._step_index = {id(s): i for i, s in enumerate(program.steps)}
+        #: Satellite of the plan split: runtime steps resolve to plan
+        #: artifacts positionally (``bind`` guarantees alignment), walking
+        #: residual branches in parallel; nested steps of an *opaque*
+        #: residual map to the opaque itself, so reaching them raises the
+        #: same clean error as reaching the block.
+        self._artifacts: dict[int, object] = {}
+        self._index_steps(program.steps, plan.steps)
         self.out_count = 0
         #: Coefficient/slot distance between consecutive lanes' outputs.
         self.lane_stride = 0
         self.tail_s2c = True
 
-    def _compiled(self, step) -> CompiledLinear:
-        return self.plan.steps[self._step_index[id(step)]]
+    def _index_steps(self, steps, csteps) -> None:
+        for step, cstep in zip(steps, csteps):
+            self._artifacts[id(step)] = cstep
+            if step.kind == "residual":
+                inner = isinstance(cstep, CompiledResidual)
+                body_c = (
+                    cstep.body if inner else [cstep] * len(step.body.steps)
+                )
+                self._index_steps(step.body.steps, body_c)
+                if step.shortcut is not None:
+                    sc = (
+                        cstep.shortcut
+                        if inner and cstep.shortcut is not None
+                        else [cstep] * len(step.shortcut.steps)
+                    )
+                    self._index_steps(step.shortcut.steps, sc)
+
+    def _compiled(self, step, want: type):
+        cstep = self._artifacts[id(step)]
+        if not isinstance(cstep, want):
+            raise ParameterError(
+                f"step {step.name!r} has no ciphertext lowering under this "
+                f"parameter set (compiled as {getattr(cstep, 'kind', '?')!r} "
+                "placeholder)"
+            )
+        return cstep
 
     def linear(self, step: LinearStep, value) -> BfvCiphertext:
         pipe, params = self.pipe, self.pipe.params
         layer = step.layer
-        if step.fused_pool is not None:
-            raise ParameterError(
-                "MAC-domain max-pool fusion is not implemented on the "
-                "real-ciphertext backend"
-            )
-        cstep = self._compiled(step)
+        cstep = self._compiled(step, CompiledLinear)
         n = params.n
         layout = (
             cstep.lane_layout(self.lanes, params) if self.lanes > 1 else None
@@ -433,11 +479,10 @@ class CiphertextExecutor(ProgramExecutor):
                     )
                 ct = pipe.encrypt_coeffs(self._encode_lanes(imgs, layout, n))
             else:
-                if layer.pad:
-                    raise ParameterError(
-                        "interior convolutions must be pad-free for "
-                        "coefficient-encoded layer chaining"
-                    )
+                # Interior step: the previous refresh packed the value onto
+                # exactly the layout this step's kernel was encoded for
+                # (compact Eq. 1 rows, or a padded grid whose exact-zero
+                # margin is this convolution's zero padding).
                 ct = value
         else:
             if isinstance(value, np.ndarray):
@@ -450,6 +495,9 @@ class CiphertextExecutor(ProgramExecutor):
         if bias is not None:
             with pipe._dispatch(), current_backend().phase("linear"):
                 out = pipe.ctx.add_plain(out, bias)
+        if cstep.pool_rounds is not None:
+            for rnd in cstep.pool_rounds:
+                out = self._max_round(out, cstep, rnd)
         self.out_count = cstep.out_count
         if cstep.tiles is None:
             positions = (
@@ -460,13 +508,64 @@ class CiphertextExecutor(ProgramExecutor):
                 # Spread the lanes' samples to the chained pack rows; the
                 # gap rows are trivial zero encryptions (exact zeros).
                 batch = batch.place(layout.pack_map, layout.pack_rows)
+            elif cstep.pack_rows is not None:
+                batch = batch.place(cstep.pack_rows, n)
             self.lane_stride = (
                 layout.out_stride if layout is not None else cstep.out_count
             )
             boot = pipe.bootstrap(batch, cstep.lut, self.cost, plan=cstep.fbs)
+            boot = self._correct(boot, cstep.pack_correction)
             self.tail_s2c = step.s2c
             return pipe.to_coeffs(boot, plan=self.plan.s2c) if step.s2c else boot
         return self._chunked_rounds(out, cstep)
+
+    def _correct(self, boot: BfvCiphertext, correction) -> BfvCiphertext:
+        """Zero a placed layout's gap slots exactly (``-LUT(0)`` plaintext)."""
+        if correction is None:
+            return boot
+        pipe = self.pipe
+        with pipe._dispatch(), current_backend().phase("fbs"):
+            return pipe.ctx.add_plain(boot, correction)
+
+    def _shift(self, ct: BfvCiphertext, offset: int) -> BfvCiphertext:
+        """Exact monomial multiplication by X^offset (no key material)."""
+        return BfvCiphertext(
+            ct.c0.negacyclic_shift(offset),
+            ct.c1.negacyclic_shift(offset),
+            ct.params,
+            ct.noise_bits,
+        )
+
+    def _max_round(
+        self, ct: BfvCiphertext, cstep: CompiledLinear, rnd: MaxRound
+    ) -> BfvCiphertext:
+        """One MAC-domain max-tree level: ``max(a, b) = b + relu(a - b)``.
+
+        ``shifted = ct * X^(n - delta)`` holds ``-x[p + delta]`` at every
+        coefficient ``p`` (each kept cell satisfies ``p + delta < n``, so
+        the partner always arrives through the negacyclic wrap with sign
+        flipped — an exact subtraction, not an approximation). The
+        differences are refreshed through the MAC-domain ReLU at the kept
+        cells and *placed back onto the same rows*; relu(0) = 0 keeps the
+        off-row coefficients exact zeros, so ``relu_ct - shifted`` restores
+        ``max(a, b)`` at every kept cell. Off-row garbage in the result is
+        never read: the next level's partners are this level's kept cells.
+        """
+        pipe = self.pipe
+        n = pipe.params.n
+        with pipe._dispatch(), current_backend().phase("pooling"):
+            shifted = self._shift(ct, n - rnd.delta)
+            diff = pipe.ctx.add(ct, shifted)
+        if self.cost is not None:
+            self.cost.hadd += 2
+        batch = pipe.refresh_to_lwe(diff, rnd.positions, self.cost)
+        batch = batch.place(rnd.positions, n)
+        boot = pipe.bootstrap(
+            batch, cstep.pool_lut, self.cost, plan=cstep.pool_fbs
+        )
+        relu_ct = pipe.to_coeffs(boot, plan=self.plan.s2c)
+        with pipe._dispatch(), current_backend().phase("pooling"):
+            return pipe.ctx.sub(relu_ct, shifted)
 
     def _encode_lanes(self, blocks_chw: np.ndarray, layout, n: int):
         """Client-side encode: one image, or ``lanes`` images at lane stride."""
@@ -544,19 +643,65 @@ class CiphertextExecutor(ProgramExecutor):
         return ct, cost
 
     def pool(self, step: PoolStep, value):
-        raise ParameterError(
-            f"pooling step {step.name!r} is not supported on the "
-            "real-ciphertext backend"
-        )
+        """Average/global pooling: one depthwise all-ones PMult.
+
+        The window sums accumulate in the MAC domain at the plan's
+        positions; the mandatory following :meth:`remap` step refreshes
+        them through the division LUT.
+        """
+        cstep = self._compiled(step, CompiledPool)
+        if isinstance(value, np.ndarray):
+            raise ParameterError(
+                f"pooling step {step.name!r} cannot be the program's entry "
+                "step on the real-ciphertext backend"
+            )
+        return self.pipe.linear(value, cstep.kernel, self.cost)
 
     def remap(self, step: RemapStep, value):
-        raise ParameterError(
-            f"remap step {step.name!r} is not supported on the "
-            "real-ciphertext backend"
-        )
+        """A bare LUT refresh round (the pooling division tables)."""
+        cstep = self._compiled(step, CompiledRemap)
+        if isinstance(value, np.ndarray):
+            raise ParameterError(
+                f"remap step {step.name!r} cannot be the program's entry "
+                "step on the real-ciphertext backend"
+            )
+        pipe = self.pipe
+        batch = pipe.refresh_to_lwe(value, cstep.positions, self.cost)
+        if cstep.pack_rows is not None:
+            batch = batch.place(cstep.pack_rows, pipe.params.n)
+        boot = pipe.bootstrap(batch, cstep.lut, self.cost, plan=cstep.fbs)
+        boot = self._correct(boot, cstep.pack_correction)
+        self.out_count = cstep.out_count
+        self.lane_stride = cstep.out_count
+        self.tail_s2c = step.s2c
+        return pipe.to_coeffs(boot, plan=self.plan.s2c) if step.s2c else boot
 
     def residual(self, step: ResidualStep, main, skip):
-        raise ParameterError(
-            f"residual step {step.name!r} is not supported on the "
-            "real-ciphertext backend"
-        )
+        """Join the branches and refresh through the wide-scale LUT.
+
+        Both branch tails packed into the shared join layout at compile
+        time, so the join itself is ``main + alpha * skip`` followed by
+        one standard refresh round placed into the next consumer's layout.
+        """
+        cstep = self._compiled(step, CompiledResidual)
+        if isinstance(main, np.ndarray) or isinstance(skip, np.ndarray):
+            raise ParameterError(
+                f"residual block {step.name!r} cannot be the program's "
+                "entry step on the real-ciphertext backend"
+            )
+        pipe = self.pipe
+        with pipe._dispatch(), current_backend().phase("residual"):
+            if cstep.alpha != 1:
+                skip = pipe.ctx.smult(skip, cstep.alpha)
+            total = pipe.ctx.add(main, skip)
+        if self.cost is not None:
+            self.cost.hadd += 1
+        batch = pipe.refresh_to_lwe(total, cstep.positions, self.cost)
+        if cstep.pack_rows is not None:
+            batch = batch.place(cstep.pack_rows, pipe.params.n)
+        boot = pipe.bootstrap(batch, cstep.lut, self.cost, plan=cstep.fbs)
+        boot = self._correct(boot, cstep.pack_correction)
+        self.out_count = cstep.out_count
+        self.lane_stride = cstep.out_count
+        self.tail_s2c = step.s2c
+        return pipe.to_coeffs(boot, plan=self.plan.s2c) if step.s2c else boot

@@ -19,6 +19,35 @@ built once, serialized (:mod:`repro.fhe.serialize`), cached on disk keyed by
 ``(model hash, params hash)``, and shared by every session that runs the
 same model under the same parameters.
 
+Feature layouts
+---------------
+
+Interior layers chain through :class:`FeatureLayout` descriptors: the
+compiler walks the program once, computes the coefficient layout each
+step *requires* of its input (a padded grid for a pad > 0 convolution,
+compact rows for an FC head), and compiles every refresh round to pack
+its LWE samples directly into the next consumer's layout
+(:attr:`pack_rows`). The gap rows are trivial zero encryptions, and a
+LUT(0) != 0 dead-slot correction keeps them *exact* zeros after S2C —
+which is precisely what lets a placed layout's margin act as the next
+convolution's zero padding. Compact targets keep the historical
+pack-nothing path, so plain conv/FC chains compile to byte-identical
+plans.
+
+MAC-domain max-pool fusion compiles to a :class:`MaxRound` tree:
+``max(a, b) = b + relu(a - b)`` evaluated with one exact monomial shift,
+one ReLU refresh round placed back onto the kept grid cells, and one
+ciphertext subtraction per round — ``2*log2(k)`` rounds for a ``k x k``
+(kernel == stride, power of two) window, batched SIMD-wide across all
+windows and channels.
+
+Per-step encoding choices (:class:`repro.core.lowering.StepEncodingChoice`,
+optionally overridden by a :class:`repro.core.lowering.TuningConfig` from
+``repro.core.tune``) resolve here into concrete artifacts: the refresh
+tile size, the FBS BSGS split, and the Table 2 strategy label the cost
+model uses. The tuning config is folded into :func:`program_fingerprint`
+so differently-tuned plans never collide in a cache.
+
 Bit-identity contract: a plan-driven run issues the *identical* homomorphic
 op sequence as a plan-free run (the plan only moves the derivation of each
 op's plaintext operand to compile time), so given the same keys and
@@ -29,13 +58,19 @@ this.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.encoding import encode_kernels, lane_span
+from repro.core.encoding import (
+    encode_kernels,
+    grid_output_positions,
+    lane_span,
+)
+from repro.core.lowering import DEFAULT_ENCODING, StepEncodingChoice, TuningConfig
 from repro.core.program import AthenaProgram, LinearStep
-from repro.errors import ParameterError
+from repro.errors import EncodingError, ParameterError
 from repro.fhe.backend import current_backend
 from repro.fhe.bfv import Plaintext
 from repro.fhe.fbs import FbsLut, FbsPlan
@@ -47,24 +82,34 @@ from repro.fhe.slots import lane_positions
 __all__ = [
     "CompiledLinear",
     "CompiledOpaque",
+    "CompiledPool",
     "CompiledProgram",
+    "CompiledRemap",
+    "CompiledResidual",
+    "FeatureLayout",
     "LaneLayout",
+    "MaxRound",
     "TilePlan",
     "compile_program",
     "program_fingerprint",
 ]
 
 
-def program_fingerprint(program: AthenaProgram) -> str:
+def program_fingerprint(program: AthenaProgram,
+                        tuning: TuningConfig | None = None) -> str:
     """Hex digest pinning a lowered model: structure, weights, LUT recipes.
 
     Two programs lowered from the same quantized model hash identically;
-    any change to a weight, bias, scale, fusion decision, or quantization
-    config changes the digest. Used (with the parameter fingerprint) as the
-    on-disk plan-cache key.
+    any change to a weight, bias, scale, fusion decision, grouped-conv
+    topology, or quantization config changes the digest — and so does the
+    ``tuning`` config (via its stable tag), so a plan cache keyed on this
+    digest never serves a differently-tuned layout. Used (with the
+    parameter fingerprint) as the on-disk plan-cache key.
     """
     h = hashlib.sha256()
     h.update(repr(program.config).encode())
+    if tuning:
+        h.update(f"|tuning:{tuning.tag()}".encode())
 
     def feed(steps) -> None:
         for step in steps:
@@ -73,11 +118,14 @@ def program_fingerprint(program: AthenaProgram) -> str:
                 layer = step.layer
                 stride = getattr(layer, "stride", 1)
                 pad = getattr(layer, "pad", 0)
+                groups = getattr(layer, "groups", 1)
                 h.update(
                     f":{step.op}:{step.s2c:d}:{stride}:{pad}"
                     f":{layer.activation}:{layer.out_scale}"
                     f":{step.fused_pool is not None:d}".encode()
                 )
+                if groups != 1:
+                    h.update(f":g{groups}".encode())
                 h.update(np.ascontiguousarray(layer.weight).tobytes())
                 h.update(np.ascontiguousarray(layer.bias).tobytes())
             elif step.kind == "remap":
@@ -94,6 +142,75 @@ def program_fingerprint(program: AthenaProgram) -> str:
     return h.hexdigest()
 
 
+# --------------------------------------------------------------------------
+# Feature layouts
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FeatureLayout:
+    """Where a logical feature tensor lives in a ciphertext's coefficients.
+
+    ``grid=None`` is the compact layout: element ``i`` (C-order) at
+    coefficient ``i`` — the historical layer-chaining convention. With a
+    ``(gh, gw)`` grid, channel ``c``'s image sits inside an interior window
+    at ``offset=(oy, ox)``: element ``(c, i, j)`` at coefficient
+    ``c*gh*gw + (oy+i)*gw + (ox+j)``, with the margin coefficients *exact*
+    zeros (the refresh-placement invariant). A padded-grid layout is how a
+    pad > 0 interior convolution receives its zero padding for free.
+    """
+
+    shape: tuple
+    grid: tuple | None = None
+    offset: tuple = (0, 0)
+
+    @property
+    def count(self) -> int:
+        return int(math.prod(self.shape))
+
+    @property
+    def span(self) -> int:
+        """One-past-the-last coefficient the layout may occupy."""
+        if self.grid is None:
+            return self.count
+        return self.shape[0] * self.grid[0] * self.grid[1]
+
+    def is_compact(self) -> bool:
+        if self.grid is None:
+            return True
+        return (
+            len(self.shape) == 3
+            and self.grid == tuple(self.shape[1:])
+            and tuple(self.offset) == (0, 0)
+        )
+
+    def rows(self) -> np.ndarray:
+        """Coefficient index of every logical element, C-order."""
+        if self.is_compact():
+            return np.arange(self.count, dtype=np.int64)
+        if len(self.shape) != 3:
+            raise ParameterError(
+                f"grid layout needs a (C, H, W) shape, got {self.shape}")
+        c, h, w = self.shape
+        gh, gw = self.grid
+        oy, ox = self.offset
+        if oy < 0 or ox < 0 or oy + h > gh or ox + w > gw:
+            raise ParameterError(
+                f"image {h}x{w} at offset ({oy},{ox}) overflows grid {gh}x{gw}")
+        cidx = np.arange(c, dtype=np.int64)[:, None, None] * (gh * gw)
+        yidx = (np.arange(h, dtype=np.int64)[None, :, None] + oy) * gw
+        xidx = np.arange(w, dtype=np.int64)[None, None, :] + ox
+        return (cidx + yidx + xidx).reshape(-1)
+
+
+def _compact(shape) -> FeatureLayout:
+    return FeatureLayout(tuple(int(d) for d in shape))
+
+
+def _is_plain(layout: FeatureLayout | None) -> bool:
+    return layout is None or layout.is_compact()
+
+
 @dataclass(frozen=True)
 class TilePlan:
     """One chunked five-step tile: its positions and exact corrections.
@@ -107,6 +224,23 @@ class TilePlan:
     offset: int
     positions: np.ndarray
     correction: Plaintext | None
+
+
+@dataclass(frozen=True)
+class MaxRound:
+    """One level of a MAC-domain max-pool tree.
+
+    The executor evaluates ``max(a, b) = b + relu(a - b)`` across all
+    windows at once: ``shifted = ct * X^(n - delta)`` holds ``-b`` on top
+    of every ``a`` cell, ``add`` forms the differences, a ReLU refresh
+    round placed back onto ``positions`` (the kept cells; relu(0) = 0
+    keeps the off-row coefficients exact) rectifies them, and
+    ``sub(relu_ct, shifted)`` adds ``b`` back. ``delta`` is the
+    coefficient distance between a window cell and its round partner.
+    """
+
+    delta: int
+    positions: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -147,9 +281,10 @@ class CompiledLinear:
     kind: str = field(default="linear", init=False)
     #: Eq. 1 kernel polynomial, NTT operand pre-warmed.
     kernel: Plaintext = None
-    #: Bias placed at the output positions (``None`` when the bias is zero).
+    #: Bias placed at the (pre-pool) output positions (``None`` when zero).
     bias: Plaintext | None = None
     #: Coefficient indices of the valid outputs (extraction positions).
+    #: With a fused pool these are the pooled winners, not all MAC outputs.
     positions: np.ndarray = None
     out_count: int = 0
     #: Materialized FBS table (interpolated once, shared via the cache).
@@ -162,6 +297,19 @@ class CompiledLinear:
     lane_span: int = 0
     #: Pack-row stride between lanes' outputs (annotated by the lane chain).
     lane_out_stride: int = 0
+    #: Table 2 encoding strategy label ('athena' | 'cheetah') for the cost
+    #: model; execution on the single-ciphertext backend is identical.
+    strategy: str = "athena"
+    #: Target pack rows of the next consumer's layout (``None`` = compact).
+    pack_rows: np.ndarray | None = None
+    #: Slot-encoded -LUT(0) over the placed layout's gap rows (``None``
+    #: when LUT(0) = 0 or the target is compact).
+    pack_correction: Plaintext | None = None
+    #: MAC-domain max-pool tree (``None`` when no fused pool).
+    pool_rounds: tuple[MaxRound, ...] | None = None
+    #: Shared MAC-domain ReLU table + schedule for the tree rounds.
+    pool_lut: FbsLut | None = None
+    pool_fbs: FbsPlan | None = None
     #: Lazily built per-batch-size layouts, keyed by lane count.
     _lane_layouts: dict = field(
         default_factory=dict, init=False, repr=False, compare=False)
@@ -175,6 +323,9 @@ class CompiledLinear:
             raise ParameterError(f"need at least one lane, got {lanes}")
         if self.tiles is not None:
             raise ParameterError("chunked rounds do not support lane batching")
+        if self.pack_rows is not None or self.pool_rounds is not None:
+            raise ParameterError(
+                "placed layouts and fused pooling do not support lane batching")
         if self.lane_span <= 0 or self.lane_out_stride <= 0:
             raise ParameterError(
                 f"step {self.name!r} carries no lane geometry (stale plan?)")
@@ -211,16 +362,78 @@ class CompiledLinear:
         return layout
 
 
+@dataclass
+class CompiledPool:
+    """A 'sum'/'gap' pooling window realized as one depthwise Eq. 1 PMult.
+
+    The kernel is a dense block-diagonal all-ones stack — channel ``c``'s
+    window sum accumulates only from input channel ``c`` — so the product
+    carries every window total at :attr:`positions`, where the following
+    :class:`CompiledRemap` refreshes through the division table.
+    """
+
+    index: int
+    name: str
+    kind: str = field(default="pool", init=False)
+    kernel: Plaintext = None
+    positions: np.ndarray = None
+    out_count: int = 0
+
+
+@dataclass
+class CompiledRemap:
+    """A bare LUT refresh round (the pooling division tables)."""
+
+    index: int
+    name: str
+    s2c: bool
+    kind: str = field(default="remap", init=False)
+    positions: np.ndarray = None
+    out_count: int = 0
+    lut: FbsLut = None
+    fbs: FbsPlan = None
+    pack_rows: np.ndarray | None = None
+    pack_correction: Plaintext | None = None
+
+
+@dataclass
+class CompiledResidual:
+    """A residual block: compiled branches + the wide-scale join round.
+
+    The branch tails pack into a shared join layout (the block input's
+    layout for an identity skip, compact rows for projection shortcuts),
+    so the join is one ciphertext addition (``main + alpha * skip``)
+    followed by a post-add LUT refresh placed into the next consumer's
+    layout.
+    """
+
+    index: int
+    name: str
+    s2c: bool
+    kind: str = field(default="residual", init=False)
+    alpha: int = 1
+    positions: np.ndarray = None
+    out_count: int = 0
+    lut: FbsLut = None
+    fbs: FbsPlan = None
+    pack_rows: np.ndarray | None = None
+    pack_correction: Plaintext | None = None
+    body: list = field(default_factory=list)
+    shortcut: list | None = None
+
+
 @dataclass(frozen=True)
 class CompiledOpaque:
-    """Placeholder for steps the ciphertext backend realizes without
-    compile-time artifacts (reshape) or does not support at all (pooling,
-    standalone remap, residual, MAC-domain fusion) — the executor raises
-    its usual error when such a step is actually reached."""
+    """Placeholder for steps with no compile-time artifacts (reshape), steps
+    whose artifacts did not fit this parameter set (the executor raises its
+    usual error when such a step is actually reached), or — with ``stub``
+    set — complex steps elided from the wire form, which
+    :meth:`CompiledProgram.needs_upgrade` flags for recompilation."""
 
     index: int
     name: str
     kind: str
+    stub: bool = False
 
 
 @dataclass
@@ -240,10 +453,12 @@ class CompiledProgram:
     model_hash: str
     name: str = "model"
     #: Images one ciphertext can carry through the whole program (>= 1).
-    #: 1 means single-image only — chunked plans, non-reshape opaque steps,
-    #: and LUTs with LUT(0) != 0 (whose dead slots are not exact zeros)
-    #: all disable lane batching.
+    #: 1 means single-image only — chunked plans, placed layouts, pooling,
+    #: residual joins, and LUTs with LUT(0) != 0 (whose dead slots are not
+    #: exact zeros) all disable lane batching.
     batch_capacity: int = 1
+    #: The per-step encoding overrides this plan was compiled under.
+    tuning: TuningConfig | None = None
 
     def bind(self, program: AthenaProgram, params: FheParams) -> None:
         """Validate that this plan matches ``program`` under ``params``."""
@@ -255,12 +470,16 @@ class CompiledProgram:
                 f"{len(program.steps)}"
             )
         for cstep, step in zip(self.steps, program.steps):
-            want = "linear" if isinstance(cstep, CompiledLinear) else cstep.kind
+            want = cstep.kind
             if want != step.kind:
                 raise ParameterError(
                     f"plan step {cstep.index} is {want!r}, "
                     f"program has {step.kind!r}"
                 )
+
+    def needs_upgrade(self) -> bool:
+        """True when wire-form stubs must be recompiled before execution."""
+        return any(getattr(s, "stub", False) for s in self.steps)
 
 
 def _annotate_lanes(steps: list, params: FheParams, chunk: int | None) -> int:
@@ -285,11 +504,17 @@ def _annotate_lanes(steps: list, params: FheParams, chunk: int | None) -> int:
     capacity = params.n
     for step in steps:
         if isinstance(step, CompiledLinear):
-            if step.tiles is not None or int(step.lut.values[0]) != 0:
+            if (
+                step.tiles is not None
+                or step.pack_rows is not None
+                or step.pool_rounds is not None
+                or int(step.lut.values[0]) != 0
+            ):
                 return 1
             capacity = min(capacity, params.n // max(1, step.lane_span))
         elif step.kind != "reshape":
-            # Steps the ciphertext executor cannot run anyway.
+            # Steps whose geometry is single-image by construction (pooling,
+            # residual joins) or that the executor cannot run anyway.
             return 1
     capacity = min(capacity, params.n // max(1, tail.out_count))
     return max(1, capacity)
@@ -315,41 +540,283 @@ def _build_tiles(
     return tuple(tiles)
 
 
+def _pack_rows_for(target: FeatureLayout | None, out_count: int,
+                   params: FheParams) -> np.ndarray | None:
+    """Resolve a refresh round's placement rows (``None`` = compact)."""
+    if target is None or target.is_compact():
+        return None
+    if target.count != out_count:
+        raise ParameterError(
+            f"target layout holds {target.count} values, round produces "
+            f"{out_count}")
+    if target.span > params.n:
+        raise ParameterError(
+            f"target layout span {target.span} exceeds n={params.n}")
+    return target.rows()
+
+
+def _pack_correction(pack_rows: np.ndarray | None, lut: FbsLut,
+                     params: FheParams) -> Plaintext | None:
+    """Exact -LUT(0) plaintext over a placed layout's gap rows."""
+    if pack_rows is None:
+        return None
+    lut0 = int(lut.values[0])
+    if not lut0:
+        return None
+    vals = np.full(params.n, -lut0 % params.t, dtype=np.int64)
+    vals[pack_rows] = 0
+    correction = Plaintext.from_slots(vals, params)
+    correction.add_operand()
+    return correction
+
+
+def _fbs_plan(lut: FbsLut, choice: StepEncodingChoice | None,
+              params: FheParams) -> FbsPlan:
+    bs = choice.bsgs if choice is not None else None
+    return FbsPlan.from_lut(lut, bs=bs).materialize(params)
+
+
+def _resolve_choice(step, tuning: TuningConfig | None) -> StepEncodingChoice:
+    """Tuning override > rule default > global default."""
+    if tuning is not None:
+        override = tuning.get(step.name)
+        if override is not None:
+            return override
+    return getattr(step, "encoding", None) or DEFAULT_ENCODING
+
+
+def _step_chunk(choice: StepEncodingChoice, chunk: int | None) -> int | None:
+    return choice.chunk if choice.chunk is not None else chunk
+
+
+# --------------------------------------------------------------------------
+# Layout-resolution walk: logical shapes and required layouts
+# --------------------------------------------------------------------------
+
+
+def _shape_after(step, shape: tuple | None) -> tuple | None:
+    """Logical output shape of one step (``None`` when untrackable)."""
+    if step.kind == "linear":
+        if step.op == "conv":
+            c, oh, ow = step.layer.out_shape
+            if step.fused_pool is not None:
+                k, s = step.fused_pool.kernel, step.fused_pool.stride
+                oh, ow = (oh - k) // s + 1, (ow - k) // s + 1
+            return (c, oh, ow)
+        return (step.layer.out_features,)
+    if shape is None:
+        return None
+    if step.kind == "pool":
+        if step.op == "gap":
+            return (shape[0],)
+        c, h, w = shape
+        k, s = step.layer.kernel, step.layer.stride
+        return (c, (h - k) // s + 1, (w - k) // s + 1)
+    if step.kind == "reshape":
+        return (int(math.prod(shape)),)
+    if step.kind == "residual":
+        for sub in step.body.steps:
+            shape = _shape_after(sub, shape)
+        return shape
+    return shape  # remap
+
+
+def _initial_shape(steps: list) -> tuple | None:
+    for step in steps:
+        if step.kind == "linear":
+            if step.op == "conv":
+                return tuple(step.layer.in_shape)
+            return (step.layer.in_features,)
+        return None
+    return None
+
+
+def _required_layout(steps: list, j: int, shape: tuple | None,
+                     final_target: FeatureLayout | None) -> FeatureLayout | None:
+    """Input layout ``steps[j]`` needs (looking through free reshapes)."""
+    while j < len(steps) and steps[j].kind == "reshape":
+        shape = _shape_after(steps[j], shape)
+        j += 1
+    if j >= len(steps):
+        return final_target
+    step = steps[j]
+    if step.kind == "linear":
+        if step.op == "conv":
+            layer = step.layer
+            cin, h, w = layer.in_shape
+            if layer.pad:
+                p = layer.pad
+                return FeatureLayout(
+                    (cin, h, w), (h + 2 * p, w + 2 * p), (p, p))
+            return FeatureLayout((cin, h, w))
+        return FeatureLayout((step.layer.in_features,))
+    if step.kind in ("pool", "remap"):
+        return _compact(shape) if shape is not None else None
+    if step.kind == "residual":
+        inner = _required_layout(step.body.steps, 0, shape, None)
+        if inner is None and shape is not None:
+            return _compact(shape)
+        return inner
+    return final_target
+
+
+# --------------------------------------------------------------------------
+# Per-kind compilation
+# --------------------------------------------------------------------------
+
+
+def _mac_relu_lut(t: int) -> FbsLut:
+    """The MAC-domain rectifier every max-tree round refreshes through."""
+    return FbsLut.from_function(lambda v: np.maximum(v, 0), t, name="mac-relu")
+
+
+def _pool_tree(layer, pool, gh: int, gw: int, oy: int, ox: int,
+               n: int) -> tuple[tuple[MaxRound, ...], np.ndarray]:
+    """Build the MAC-domain max rounds + final pooled extraction positions.
+
+    Cell ``(cp, a, b)`` of the conv's output grid sits at coefficient
+    ``t_index - cp*cin*gh*gw + (oy + a*s)*gw + (ox + b*s)``; window
+    partners are therefore a *uniform* coefficient distance apart across
+    all channels and rows, which is what lets one monomial shift serve
+    the whole SIMD batch. Supported windows: kernel == stride, power of
+    two (every zoo pool), full windows only (im2col semantics).
+    """
+    k, ps = pool.kernel, pool.stride
+    if k != ps or k < 2 or k & (k - 1):
+        raise ParameterError(
+            f"fused max-pool needs kernel == stride, power of two; got "
+            f"kernel={k} stride={ps}")
+    cout = layer.weight.shape[0]
+    cin = layer.in_shape[0]
+    s = layer.stride
+    _, oh, ow = layer.out_shape
+    ghw = gh * gw
+    wk = layer.weight.shape[2]
+    t_index = ghw * (cout * cin - 1) + gw * (wk - 1) + wk - 1
+
+    def cell(cp: int, a: int, b: int) -> int:
+        return t_index - cp * cin * ghw + (oy + a * s) * gw + (ox + b * s)
+
+    def positions_for(ys, xs) -> np.ndarray:
+        out = np.empty(cout * len(ys) * len(xs), dtype=np.int64)
+        pos = 0
+        for cp in range(cout):
+            for a in ys:
+                for b in xs:
+                    out[pos] = cell(cp, a, b)
+                    pos += 1
+        return out
+
+    levels = k.bit_length() - 1
+    origins_y = list(range(0, oh - k + 1, k))
+    origins_x = list(range(0, ow - k + 1, k))
+    rounds: list[MaxRound] = []
+    for r in range(levels):  # column reduction, all rows still live
+        stepw = 1 << (r + 1)
+        xs = [w0 + o for w0 in origins_x for o in range(0, k, stepw)]
+        rounds.append(MaxRound((1 << r) * s, positions_for(range(oh), xs)))
+    for r in range(levels):  # row reduction over the window columns
+        steph = 1 << (r + 1)
+        ys = [y0 + o for y0 in origins_y for o in range(0, k, steph)]
+        rounds.append(MaxRound((1 << r) * s * gw, positions_for(ys, origins_x)))
+    final = positions_for(origins_y, origins_x)
+    if final.size and int(final.max()) >= n:
+        raise ParameterError("pooled positions overflow the ring")
+    return tuple(rounds), final
+
+
 def _compile_linear(
     step: LinearStep,
     index: int,
-    program: AthenaProgram,
+    config,
     params: FheParams,
     chunk: int | None,
+    choice: StepEncodingChoice,
+    in_layout: FeatureLayout | None,
+    target: FeatureLayout | None,
 ) -> CompiledLinear:
     layer = step.layer
     n = params.n
+    grid = None
+    oy = ox = 0
     if step.op == "conv":
         cin, h, w = layer.in_shape
         hp, wp = h + 2 * layer.pad, w + 2 * layer.pad
-        kernel_coeffs = encode_kernels(layer.weight, hp, wp, n)
-        span = lane_span(layer.weight.shape[0], cin, hp, wp, layer.weight.shape[-1])
+        own_grid = FeatureLayout((cin, h, w), (hp, wp),
+                                 (layer.pad, layer.pad))
+        if (
+            _is_plain(in_layout)
+            or (in_layout.grid == own_grid.grid
+                and tuple(in_layout.offset) == own_grid.offset)
+        ):
+            # The historical path: the input sits on the conv's own padded
+            # grid (client-side np.pad for the entry step, or a placed
+            # layout matching it exactly). Byte-identical artifacts.
+            if layer.pad and not _is_plain(in_layout):
+                grid = (hp, wp)
+            elif layer.pad:
+                grid = (hp, wp)  # entry step synthesizes the grid in plaintext
+            else:
+                grid = (h, w)
+            kernel_coeffs = encode_kernels(layer.weight, hp, wp, n)
+            span = lane_span(
+                layer.weight.shape[0], cin, hp, wp, layer.weight.shape[-1])
+            positions_full = step.output_positions()
+        else:
+            gh, gw = in_layout.grid
+            loy, lox = in_layout.offset
+            oy, ox = loy - layer.pad, lox - layer.pad
+            if oy < 0 or ox < 0:
+                raise ParameterError(
+                    f"layout margin ({loy},{lox}) cannot cover pad "
+                    f"{layer.pad} for step {step.name!r}")
+            grid = (gh, gw)
+            kernel_coeffs = encode_kernels(layer.weight, gh, gw, n)
+            span = lane_span(
+                layer.weight.shape[0], cin, gh, gw, layer.weight.shape[-1])
+            if span > n:
+                raise ParameterError(
+                    f"step {step.name!r} needs span {span} on its placed "
+                    f"grid, have n={n}")
+            _, oh, ow = layer.out_shape
+            positions_full = grid_output_positions(
+                layer.weight.shape[0], cin, gh, gw, layer.weight.shape[-1],
+                layer.stride, oh, ow, oy, ox)
     else:
         # An FC layer is the Wk = H = W = 1 case of the Eq. 1 encoding.
         kernel_coeffs = encode_kernels(layer.weight[:, :, None, None], 1, 1, n)
         span = lane_span(layer.weight.shape[0], layer.weight.shape[1], 1, 1, 1)
+        positions_full = step.output_positions()
     kernel = Plaintext.from_coeffs(kernel_coeffs, params)
     kernel.pmult_operand()
 
-    positions = step.output_positions()
-    if positions.shape[0] > n:
+    if positions_full.shape[0] > n:
         raise ParameterError("more outputs than slots")
 
     bias = None
     if np.any(layer.bias):
         bias_coeffs = np.zeros(n, dtype=np.int64)
-        reps = positions.shape[0] // layer.bias.shape[0]
-        bias_coeffs[positions] = np.repeat(layer.bias, reps)
+        reps = positions_full.shape[0] // layer.bias.shape[0]
+        bias_coeffs[positions_full] = np.repeat(layer.bias, reps)
         bias = Plaintext.from_coeffs(bias_coeffs, params)
         bias.add_operand()
 
-    lut = step.lut.build(program.config, params.t)
-    fbs = FbsPlan.from_lut(lut).materialize(params)
+    pool_rounds = pool_lut = pool_fbs = None
+    positions = positions_full
+    if step.fused_pool is not None:
+        if step.op != "conv":
+            raise ParameterError("fused pooling requires a convolution")
+        pool_rounds, positions = _pool_tree(
+            layer, step.fused_pool, grid[0], grid[1], oy, ox, n)
+        pool_lut = _mac_relu_lut(params.t)
+        pool_fbs = _fbs_plan(pool_lut, choice, params)
+
+    lut = step.lut.build(config, params.t)
+    fbs = _fbs_plan(lut, choice, params)
+    pack_rows = _pack_rows_for(target, positions.shape[0], params)
+    tiles = None
+    if pack_rows is None and pool_rounds is None:
+        tiles = _build_tiles(positions, lut, params, _step_chunk(choice, chunk))
     return CompiledLinear(
         index=index,
         name=step.name,
@@ -361,23 +828,242 @@ def _compile_linear(
         out_count=positions.shape[0],
         lut=lut,
         fbs=fbs,
-        tiles=_build_tiles(positions, lut, params, chunk),
+        tiles=tiles,
         lane_span=span,
+        strategy=choice.strategy,
+        pack_rows=pack_rows,
+        pack_correction=_pack_correction(pack_rows, lut, params),
+        pool_rounds=pool_rounds,
+        pool_lut=pool_lut,
+        pool_fbs=pool_fbs,
     )
+
+
+def _compile_pool(step, index: int, params: FheParams,
+                  layout: FeatureLayout | None) -> CompiledPool:
+    if step.op == "max":
+        raise ParameterError(
+            f"standalone max-pool {step.name!r} has no ciphertext lowering "
+            "(only MAC-domain fusion behind a monotone activation)")
+    if layout is None or not layout.is_compact() or len(layout.shape) != 3:
+        raise ParameterError(
+            f"pool step {step.name!r} needs a compact (C, H, W) input layout")
+    c, h, w = layout.shape
+    if step.op == "gap":
+        if h != w:
+            raise ParameterError("global average pooling needs a square map")
+        k, s = h, 1
+    else:
+        k, s = step.layer.kernel, step.layer.stride
+    if k > min(h, w):
+        raise ParameterError(
+            f"pool window {k} exceeds the {h}x{w} feature map")
+    if lane_span(c, c, h, w, k) > params.n:
+        raise ParameterError(
+            f"pool step {step.name!r} does not fit in degree {params.n}")
+    weight = np.zeros((c, c, k, k), dtype=np.int64)
+    weight[np.arange(c), np.arange(c)] = 1
+    kernel = Plaintext.from_coeffs(
+        encode_kernels(weight, h, w, params.n), params)
+    kernel.pmult_operand()
+    positions = grid_output_positions(
+        c, c, h, w, k, s, (h - k) // s + 1, (w - k) // s + 1, 0, 0)
+    return CompiledPool(
+        index=index,
+        name=step.name,
+        kernel=kernel,
+        positions=positions,
+        out_count=positions.shape[0],
+    )
+
+
+def _compile_remap(
+    step,
+    index: int,
+    config,
+    params: FheParams,
+    choice: StepEncodingChoice,
+    pending: CompiledPool | None,
+    target: FeatureLayout | None,
+) -> CompiledRemap:
+    if pending is None:
+        raise ParameterError(
+            f"remap step {step.name!r} has no preceding pool round")
+    lut = step.lut.build(config, params.t)
+    pack_rows = _pack_rows_for(target, pending.out_count, params)
+    return CompiledRemap(
+        index=index,
+        name=step.name,
+        s2c=step.s2c,
+        positions=pending.positions,
+        out_count=pending.out_count,
+        lut=lut,
+        fbs=_fbs_plan(lut, choice, params),
+        pack_rows=pack_rows,
+        pack_correction=_pack_correction(pack_rows, lut, params),
+    )
+
+
+def _compile_residual(
+    step,
+    index: int,
+    config,
+    params: FheParams,
+    chunk: int | None,
+    tuning: TuningConfig | None,
+    choice: StepEncodingChoice,
+    in_layout: FeatureLayout | None,
+    target: FeatureLayout | None,
+    shape: tuple | None,
+) -> CompiledResidual:
+    if in_layout is None:
+        raise ParameterError(
+            f"residual block {step.name!r} cannot be the ciphertext "
+            "program's entry step")
+    if shape is None:
+        raise ParameterError(
+            f"residual block {step.name!r} has no tracked input shape")
+    body_out = shape
+    for sub in step.body.steps:
+        body_out = _shape_after(sub, body_out)
+    if body_out is None:
+        raise ParameterError(
+            f"residual body of {step.name!r} has an untrackable shape")
+    if step.shortcut is not None:
+        join_layout = _compact(body_out)
+        shortcut = _compile_block(
+            step.shortcut.steps, config, params, chunk, tuning,
+            shape, in_layout, join_layout)
+    else:
+        if tuple(in_layout.shape) != tuple(body_out):
+            raise ParameterError(
+                f"identity skip of {step.name!r} changes shape "
+                f"{in_layout.shape} -> {body_out}")
+        join_layout = in_layout
+        shortcut = None
+    body = _compile_block(
+        step.body.steps, config, params, chunk, tuning,
+        shape, in_layout, join_layout)
+    if join_layout.span > params.n:
+        raise ParameterError(
+            f"join layout of {step.name!r} exceeds degree {params.n}")
+    positions = join_layout.rows()
+    lut = step.lut.build(config, params.t)
+    pack_rows = _pack_rows_for(target, positions.shape[0], params)
+    return CompiledResidual(
+        index=index,
+        name=step.name,
+        s2c=step.s2c,
+        alpha=int(step.skip_alpha),
+        positions=positions,
+        out_count=positions.shape[0],
+        lut=lut,
+        fbs=_fbs_plan(lut, choice, params),
+        pack_rows=pack_rows,
+        pack_correction=_pack_correction(pack_rows, lut, params),
+        body=body,
+        shortcut=shortcut,
+    )
+
+
+def _compile_block(
+    steps: list,
+    config,
+    params: FheParams,
+    chunk: int | None,
+    tuning: TuningConfig | None,
+    shape: tuple | None,
+    in_layout: FeatureLayout | None,
+    final_target: FeatureLayout | None,
+) -> list:
+    """Compile one step list, chaining layouts; degrade gracefully.
+
+    Steps that only the *new* machinery could realize (placed layouts,
+    fused pooling, pool/remap/residual rounds) compile to opaque
+    placeholders when their artifacts do not fit the parameter set, so
+    compiling a program never fails where running it would have
+    succeeded. Plain conv/FC rounds keep their historical error behavior.
+    """
+    compiled: list = []
+    cur_layout = in_layout
+    pending_pool: CompiledPool | None = None
+    for i, step in enumerate(steps):
+        choice = _resolve_choice(step, tuning)
+        out_shape = _shape_after(step, shape)
+        target = _required_layout(steps, i + 1, out_shape, final_target)
+        if step.kind == "linear":
+            plain = (
+                step.fused_pool is None
+                and _is_plain(target)
+                and (
+                    _is_plain(cur_layout)
+                    or (
+                        step.op == "conv"
+                        and cur_layout.grid == (
+                            step.layer.in_shape[1] + 2 * step.layer.pad,
+                            step.layer.in_shape[2] + 2 * step.layer.pad,
+                        )
+                        and tuple(cur_layout.offset) == (
+                            step.layer.pad, step.layer.pad)
+                    )
+                )
+            )
+            if plain:
+                compiled.append(_compile_linear(
+                    step, i, config, params, chunk, choice, cur_layout, target))
+            else:
+                try:
+                    compiled.append(_compile_linear(
+                        step, i, config, params, chunk, choice, cur_layout,
+                        target))
+                except (EncodingError, ParameterError):
+                    compiled.append(CompiledOpaque(i, step.name, step.kind))
+            cur_layout = target
+        elif step.kind == "pool":
+            try:
+                cstep = _compile_pool(step, i, params, cur_layout)
+            except (EncodingError, ParameterError):
+                cstep = CompiledOpaque(i, step.name, step.kind)
+            pending_pool = cstep if isinstance(cstep, CompiledPool) else None
+            compiled.append(cstep)
+        elif step.kind == "remap":
+            try:
+                compiled.append(_compile_remap(
+                    step, i, config, params, choice, pending_pool, target))
+            except (EncodingError, ParameterError):
+                compiled.append(CompiledOpaque(i, step.name, step.kind))
+            pending_pool = None
+            cur_layout = target
+        elif step.kind == "residual":
+            try:
+                compiled.append(_compile_residual(
+                    step, i, config, params, chunk, tuning, choice,
+                    cur_layout, target, shape))
+            except (EncodingError, ParameterError):
+                compiled.append(CompiledOpaque(i, step.name, step.kind))
+            cur_layout = target
+        else:  # reshape
+            compiled.append(CompiledOpaque(i, step.name, step.kind))
+        shape = out_shape
+    return compiled
 
 
 def compile_program(
     program: AthenaProgram,
     params: FheParams | None = None,
     chunk: int | None = None,
+    tuning: TuningConfig | None = None,
 ) -> CompiledProgram:
     """Precompute every request-invariant artifact of ``program``.
 
     ``chunk`` caps the LWE outputs per refresh round exactly as in
     :meth:`AthenaPipeline.run_program`; rounds exceeding the cap get a
-    precomputed tile layout. Steps the ciphertext backend cannot execute
-    compile to opaque placeholders so that compiling a program never fails
-    where running it would have succeeded.
+    precomputed tile layout. ``tuning`` overrides individual steps'
+    declarative encoding choices (strategy / chunk tile / BSGS split) and
+    is folded into the plan's ``model_hash``. Steps the ciphertext
+    backend cannot execute compile to opaque placeholders so that
+    compiling a program never fails where running it would have
+    succeeded.
     """
     if params is None:
         params = program.params
@@ -386,19 +1072,17 @@ def compile_program(
     # Compile-time NTT transforms (cached plaintext operands) are labeled
     # so a counting backend separates them from per-request work.
     with current_backend().phase("compile"):
-        steps: list = []
-        for i, step in enumerate(program.steps):
-            if step.kind == "linear" and step.fused_pool is None:
-                steps.append(_compile_linear(step, i, program, params, chunk))
-            else:
-                steps.append(CompiledOpaque(i, step.name, step.kind))
+        steps = _compile_block(
+            program.steps, program.config, params, chunk, tuning,
+            _initial_shape(program.steps), None, None)
         capacity = _annotate_lanes(steps, params, chunk)
         return CompiledProgram(
             steps=steps,
             params=params,
             chunk=chunk,
             s2c=S2CPlan.build(params),
-            model_hash=program_fingerprint(program),
+            model_hash=program_fingerprint(program, tuning),
             name=program.name,
             batch_capacity=capacity,
+            tuning=tuning,
         )

@@ -58,14 +58,15 @@ drift from the lowered fusion decisions.
 
 from __future__ import annotations
 
-import math
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import ClassVar
 
 import numpy as np
 
+from repro.core import lowering
 from repro.core.encoding import valid_output_positions
+from repro.core.lowering import StepEncodingChoice  # noqa: F401 (re-export)
 from repro.errors import QuantizationError
 from repro.fhe.fbs import FbsLut
 from repro.fhe.params import ATHENA, FheParams
@@ -162,6 +163,9 @@ class LinearStep:
     out_values: int  # LUT-round size (after any fused pooling)
     fused_pool: QMaxPool | None = None
     s2c: bool = True
+    #: Declarative encoding advice from the lowering rule (see
+    #: repro.core.lowering.StepEncodingChoice); tuning configs override it.
+    encoding: "StepEncodingChoice | None" = None
     _positions: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def output_positions(self) -> np.ndarray:
@@ -205,6 +209,7 @@ class RemapStep:
     stat: str  # engine stat label ('avgpool' | 'gap')
     phase: str = "pooling"
     s2c: bool = True
+    encoding: "StepEncodingChoice | None" = None
 
     @property
     def source(self):
@@ -235,6 +240,7 @@ class ResidualStep:
     name: str
     stat: str = "residual-add"
     s2c: bool = True
+    encoding: "StepEncodingChoice | None" = None
 
     @property
     def skip_alpha(self) -> int:
@@ -307,8 +313,8 @@ class AthenaProgram:
 
 
 # --------------------------------------------------------------------------
-# Lowering pass — the ONLY place fusion decisions (and isinstance dispatch
-# over Q-layer types) are allowed to live.
+# Lowering pass — dispatch lives in the repro.core.lowering registry; this
+# module registers the stock rules and keeps the public lower() entry point.
 # --------------------------------------------------------------------------
 
 
@@ -327,66 +333,13 @@ def lower(model: QuantizedModel, params: FheParams = ATHENA) -> AthenaProgram:
 
 def _lower_layers(layers: list, cfg: QuantConfig, params: FheParams,
                   prefix: str) -> list:
-    steps: list = []
-    i = 0
-    idx = 0
-    while i < len(layers):
-        layer = layers[i]
-        nxt = layers[i + 1] if i + 1 < len(layers) else None
-        name = f"{prefix}{type(layer).__name__.lower()}{idx}"
-        if isinstance(layer, QConv):
-            mac_values = int(math.prod(layer.out_shape))
-            out_values = mac_values
-            fused = None
-            if isinstance(nxt, QMaxPool) and layer.activation in MONOTONE_ACTIVATIONS:
-                fused = nxt
-                out_values = mac_values // nxt.stride**2
-                i += 1
-            steps.append(
-                LinearStep(
-                    op="conv", layer=layer, lut=lut_spec(layer), name=name,
-                    stat="conv", mac_values=mac_values, out_values=out_values,
-                    fused_pool=fused,
-                )
-            )
-        elif isinstance(layer, QLinear):
-            steps.append(
-                LinearStep(
-                    op="fc", layer=layer, lut=lut_spec(layer), name=name,
-                    stat="fc", mac_values=layer.out_features,
-                    out_values=layer.out_features,
-                )
-            )
-        elif isinstance(layer, QMaxPool):
-            steps.append(PoolStep(op="max", layer=layer, name=name))
-        elif isinstance(layer, QAvgPool):
-            steps.append(PoolStep(op="sum", layer=layer, name=name, stat="avgpool"))
-            steps.append(RemapStep(lut=lut_spec(layer), name=name, stat="avgpool"))
-        elif isinstance(layer, QGlobalAvgPool):
-            steps.append(PoolStep(op="gap", layer=layer, name=name, stat="gap"))
-            steps.append(RemapStep(lut=lut_spec(layer), name=name, stat="gap"))
-        elif isinstance(layer, QFlatten):
-            steps.append(ReshapeStep(name=name))
-        elif isinstance(layer, QResidual):
-            body = AthenaProgram(
-                _lower_layers(layer.body, cfg, params, prefix=f"{name}.body."),
-                cfg, params, name=f"{name}.body",
-            )
-            shortcut = None
-            if layer.shortcut:
-                shortcut = AthenaProgram(
-                    _lower_layers(layer.shortcut, cfg, params, prefix=f"{name}.skip."),
-                    cfg, params, name=f"{name}.skip",
-                )
-            steps.append(
-                ResidualStep(layer=layer, body=body, shortcut=shortcut,
-                             lut=lut_spec(layer), name=name)
-            )
-        else:
-            raise QuantizationError(f"cannot lower {type(layer).__name__}")
-        idx += 1
-        i += 1
-    return steps
+    """Registry-driven lowering (see :mod:`repro.core.lowering`).
+
+    Kept under its historical name; raises
+    :class:`repro.errors.UnsupportedLayer` for layer types with no
+    registered rule.
+    """
+    return lowering.lower_layers(layers, cfg, params, prefix=prefix)
 
 
 # --------------------------------------------------------------------------
@@ -509,3 +462,8 @@ class PlainIntExecutor(ProgramExecutor):
             .max(axis=-1)
             .transpose(0, 3, 1, 2)
         )
+
+
+# The stock lowering rules close over this module's step classes, so they
+# register once the classes above exist (end of import).
+lowering._register_stock_rules()

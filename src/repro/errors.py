@@ -28,6 +28,24 @@ class QuantizationError(ReproError):
     """Quantized value out of representable range or bad quant config."""
 
 
+class UnsupportedLayer(QuantizationError):
+    """Lowering met a layer type with no registered :class:`LoweringRule`.
+
+    Subclasses :class:`QuantizationError` so pre-registry callers that
+    caught the old ``cannot lower`` error keep working. The payload names
+    the offending layer so CLI users see *which* layer of *which* type
+    broke the compile instead of a bare class name: ``index`` is the
+    position within the layer list handed to the lowering pass and
+    ``layer_type`` the layer's class name.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None,
+                 layer_type: str | None = None):
+        super().__init__(message)
+        self.index = index
+        self.layer_type = layer_type
+
+
 class ScheduleError(ReproError):
     """The accelerator simulator was given an unschedulable op trace."""
 

@@ -29,10 +29,13 @@ from repro.fhe.poly import RnsPoly
 from repro.fhe.s2c import S2CPlan
 
 _MAGIC = 0x41544E41  # "ATNA"
-# v2: compiled-plan linear steps carry their lane span (multi-image batching
-# geometry). v1 artifacts are rejected; the plan cache recompiles on load
-# failure, so stale caches self-heal.
-_VERSION = 2
+# v3: compiled plans carry the autotuner's encoding config, linear steps
+# their strategy tag, and layout-bearing steps (placed packing, fused max
+# trees, pool/remap/residual rounds) ship as *stub* markers that the
+# executor recompiles from the program on first bind. v1/v2 artifacts are
+# rejected; the plan cache recompiles on load failure, so stale caches
+# self-heal.
+_VERSION = 3
 
 KIND_CIPHERTEXT = 1
 KIND_LWE_BATCH = 2
@@ -142,32 +145,84 @@ def load_lwe_batch(raw: bytes) -> LweBatch:
 # -- compiled plans ----------------------------------------------------------
 
 
+#: Wire tags for compiled-plan steps.
+_STEP_OPAQUE = 0  # layout-only / degraded step: kind string only
+_STEP_LINEAR = 1  # plain linear round: full artifact payload
+_STEP_STUB = 2  # layout-bearing step: recompiled from the program on bind
+
+
+def _write_tuning(buf: io.BytesIO, tuning) -> None:
+    entries = tuning.choices if tuning else ()
+    buf.write(struct.pack("<H", len(entries)))
+    for step_name, choice in entries:
+        _write_str(buf, step_name)
+        _write_str(buf, choice.strategy)
+        buf.write(struct.pack("<Q", 0 if choice.chunk is None else choice.chunk))
+        buf.write(struct.pack("<Q", 0 if choice.bsgs is None else choice.bsgs))
+
+
+def _read_tuning(buf: io.BytesIO):
+    from repro.core.lowering import StepEncodingChoice, TuningConfig
+
+    (count,) = struct.unpack("<H", buf.read(2))
+    entries = []
+    for _ in range(count):
+        step_name = _read_str(buf)
+        strategy = _read_str(buf)
+        (chunk_raw,) = struct.unpack("<Q", buf.read(8))
+        (bsgs_raw,) = struct.unpack("<Q", buf.read(8))
+        entries.append((step_name, StepEncodingChoice(
+            strategy=strategy,
+            chunk=int(chunk_raw) or None,
+            bsgs=int(bsgs_raw) or None,
+        )))
+    return TuningConfig(tuple(entries)) if entries else None
+
+
 def dump_plan(plan) -> bytes:
     """Serialize a :class:`repro.core.plan.CompiledProgram`.
 
     The wire form carries only derived, non-secret model artifacts: kernel
     and bias coefficient vectors, extraction positions, LUT tables with
-    their interpolated polynomials, and the chunk cap. NTT operand forms,
-    BSGS schedules, S2C diagonals, and tile corrections are deterministic
-    functions of those (plus the parameter set) and are rebuilt at load.
+    their interpolated polynomials, the chunk cap, and the autotuner's
+    encoding config. NTT operand forms, BSGS schedules, S2C diagonals, and
+    tile corrections are deterministic functions of those (plus the
+    parameter set) and are rebuilt at load. Layout-bearing steps — placed
+    packing, fused max trees, pool/remap/residual rounds — are written as
+    *stub* markers: their artifacts reference each other (a residual's
+    body targets the join layout), so the loader ships the cheap identity
+    and the executor recompiles the full plan from the program on first
+    bind (:meth:`CompiledProgram.needs_upgrade`).
     """
-    from repro.core.plan import CompiledLinear
+    from repro.core.plan import CompiledLinear, CompiledOpaque
 
     buf = io.BytesIO()
     buf.write(_header(KIND_PLAN, plan.params))
     _write_str(buf, plan.name)
     _write_str(buf, plan.model_hash)
     buf.write(struct.pack("<Q", 0 if plan.chunk is None else plan.chunk))
+    _write_tuning(buf, plan.tuning)
     buf.write(struct.pack("<I", len(plan.steps)))
     for cstep in plan.steps:
-        is_linear = isinstance(cstep, CompiledLinear)
-        buf.write(struct.pack("<B", int(is_linear)))
+        plain_linear = (
+            isinstance(cstep, CompiledLinear)
+            and cstep.pack_rows is None
+            and cstep.pool_rounds is None
+        )
+        if plain_linear:
+            tag = _STEP_LINEAR
+        elif isinstance(cstep, CompiledOpaque) and not cstep.stub:
+            tag = _STEP_OPAQUE
+        else:
+            tag = _STEP_STUB
+        buf.write(struct.pack("<B", tag))
         _write_str(buf, cstep.name)
-        if not is_linear:
+        if tag != _STEP_LINEAR:
             _write_str(buf, cstep.kind)
             continue
         _write_str(buf, cstep.op)
         buf.write(struct.pack("<B", int(cstep.s2c)))
+        _write_str(buf, cstep.strategy)
         _write_array(buf, cstep.positions)
         _write_array(buf, cstep.kernel.coeffs)
         buf.write(struct.pack("<B", int(cstep.bias is not None)))
@@ -201,16 +256,23 @@ def load_plan(raw: bytes, params: FheParams):
     model_hash = _read_str(buf)
     (chunk_raw,) = struct.unpack("<Q", buf.read(8))
     chunk = int(chunk_raw) or None
+    tuning = _read_tuning(buf)
     (n_steps,) = struct.unpack("<I", buf.read(4))
     steps: list = []
     for index in range(n_steps):
-        (is_linear,) = struct.unpack("<B", buf.read(1))
+        (tag,) = struct.unpack("<B", buf.read(1))
         step_name = _read_str(buf)
-        if not is_linear:
-            steps.append(CompiledOpaque(index, step_name, _read_str(buf)))
+        if tag != _STEP_LINEAR:
+            steps.append(CompiledOpaque(index, step_name, _read_str(buf),
+                                        stub=tag == _STEP_STUB))
             continue
         op = _read_str(buf)
         (s2c,) = struct.unpack("<B", buf.read(1))
+        strategy = _read_str(buf)
+        choice = tuning.get(step_name) if tuning else None
+        step_chunk = chunk
+        if choice is not None and choice.chunk is not None:
+            step_chunk = choice.chunk
         positions = _read_array(buf)
         kernel = Plaintext.from_coeffs(_read_array(buf), params)
         kernel.pmult_operand()
@@ -225,19 +287,21 @@ def load_plan(raw: bytes, params: FheParams):
         register_interpolation(values, params.t, coeffs)
         lut = FbsLut(values, params.t, lut_name)
         (span,) = struct.unpack("<Q", buf.read(8))
+        bs = choice.bsgs if choice is not None else None
         steps.append(
             CompiledLinear(
                 index=index,
                 name=step_name,
                 op=op,
                 s2c=bool(s2c),
+                strategy=strategy,
                 kernel=kernel,
                 bias=bias,
                 positions=positions,
                 out_count=positions.shape[0],
                 lut=lut,
-                fbs=FbsPlan.from_lut(lut).materialize(params),
-                tiles=_build_tiles(positions, lut, params, chunk),
+                fbs=FbsPlan.from_lut(lut, bs=bs).materialize(params),
+                tiles=_build_tiles(positions, lut, params, step_chunk),
                 lane_span=int(span),
             )
         )
@@ -248,6 +312,7 @@ def load_plan(raw: bytes, params: FheParams):
         steps=steps,
         params=params,
         chunk=chunk,
+        tuning=tuning,
         s2c=S2CPlan.build(params),
         model_hash=model_hash,
         name=name,

@@ -98,6 +98,50 @@ def mnist_cnn_micro(rng: np.random.Generator) -> QuantizedModel:
     )
 
 
+def resnet_block_micro(rng: np.random.Generator) -> QuantizedModel:
+    """conv -> projection residual (stride-2 downsample) -> fc, TEST_LOOP-sized.
+
+    The residual-family companion to :func:`mnist_cnn_micro`: a stem conv,
+    one paper-style basic block with a strided body and a 1x1 projection
+    shortcut, and a small head. Exercises the placed-layout compile path
+    (both branches refresh into the join layout) that the plain micro model
+    never reaches, so the tuner/bench harness covers both plan families.
+    """
+    from repro.quant.quantize import QResidual
+
+    cfg = QuantConfig(4, 4, t=TEST_LOOP.t)
+
+    def conv(cin, cout, k, stride, pad, hw, act, out_scale):
+        oh = (hw + 2 * pad - k) // stride + 1
+        return QConv(
+            weight=rng.integers(-2, 3, (cout, cin, k, k)).astype(np.int64),
+            bias=rng.integers(-2, 3, cout).astype(np.int64),
+            stride=stride, pad=pad, in_scale=1.0, w_scale=1.0,
+            out_scale=out_scale, activation=act,
+            in_shape=(cin, hw, hw), out_shape=(cout, oh, oh),
+        )
+
+    stem = conv(1, 1, 3, 1, 0, 6, "relu", 8.0)
+    block = QResidual(
+        body=[conv(1, 2, 3, 2, 1, 4, "identity", 6.0)],
+        shortcut=[conv(1, 2, 1, 2, 0, 4, "identity", 6.0)],
+        add_scale=1.0, out_scale=2.0, skip_alpha=1,
+    )
+    # Coarse head scale: the fc sums 8 join outputs, so its output step
+    # must cover the summed per-branch refresh noise or the micro model
+    # amplifies TEST_LOOP's (deliberately large) noise into its logits.
+    fc = QLinear(
+        weight=rng.integers(-1, 2, (3, 8)).astype(np.int64),
+        bias=rng.integers(-2, 3, 3).astype(np.int64),
+        in_scale=1.0, w_scale=1.0, out_scale=4.0, activation="identity",
+        in_features=8, out_features=3,
+    )
+    return QuantizedModel(
+        [stem, block, QFlatten(), fc], cfg, 1.0, (1, 6, 6),
+        name="resnet_block_micro",
+    )
+
+
 def bench_mnist_cnn(
     seed: int = 41,
     compare_serial: bool = True,
@@ -290,4 +334,122 @@ def run_benches(
     if trace_out is not None:
         payload = executed_trace_payload(counting)
         Path(trace_out).write_text(json.dumps(payload, indent=2) + "\n")
+    return records
+
+
+# -- autotuner bench -----------------------------------------------------------
+
+#: Default output filename of :func:`run_tune_bench` (CI uploads it).
+BENCH_TUNE_FILENAME = "BENCH_tune.json"
+
+#: Autotuner bench subjects: name -> micro model builder.
+TUNE_SUBJECTS = ("mnist_cnn", "resnet20_block")
+
+
+def _measured_run(program, plan, x_q, seed: int, backend: str):
+    """One real-ciphertext run of ``plan``; returns (output, mod_mul, wall_s)."""
+    counting = CountingBackend(backend)
+    perf = PerfRecorder()
+    pipe = AthenaPipeline(TEST_LOOP, seed=seed, perf=perf)
+    with use_backend(counting):
+        out = pipe.run_program(program, x_q, plan=plan)
+    measured = executed_trace(counting, TEST_LOOP).totals()
+    return out, float(measured.mod_mul), perf.summary()["wall_s"]
+
+
+def bench_tune(
+    subject: str = "mnist_cnn",
+    chunk: int | None = 16,
+    seed: int = 41,
+    backend: str = "batched",
+) -> dict:
+    """Autotune one micro subject and measure the tuned plan against default.
+
+    Compiles the subject twice — default encodings and the autotuner's
+    picks — and runs both plans through the real-ciphertext pipeline under
+    a :class:`CountingBackend`, so the record carries *predicted* (cost
+    model) and *measured* (executed trace) modular-multiplication counts
+    plus wall times, and the per-layer chosen encodings. Hard guarantees
+    asserted here (CI re-checks them on the artifact):
+
+    * the tuned plan's predicted trace cost never exceeds the default's
+      (the tuner always scores the default candidate);
+    * the tuned plan's *measured* op count never exceeds the default's;
+    * both plans decode the plaintext reference within the pipeline's
+      noise tolerance (a tuned plan reroutes refresh tiles, so its noise
+      draws differ from the default's — correctness is against the model,
+      not bit-for-bit against the other plan).
+    """
+    from repro.core.plan import compile_program
+    from repro.core.tune import tune_program
+
+    builder = (
+        resnet_block_micro if subject == "resnet20_block" else mnist_cnn_micro
+    )
+    qm = builder(np.random.default_rng(5))
+    program = lower(qm, TEST_LOOP)
+    result = tune_program(program, TEST_LOOP, chunk=chunk)
+    report = result.report()
+
+    default_plan = compile_program(program, TEST_LOOP, chunk=chunk)
+    tuned_plan = compile_program(
+        program, TEST_LOOP, chunk=chunk, tuning=result.tuning
+    )
+    rng = np.random.default_rng(seed)
+    x_q = rng.integers(-2, 3, qm.input_shape).astype(np.int64)
+    out_default, mm_default, wall_default = _measured_run(
+        program, default_plan, x_q, seed, backend
+    )
+    out_tuned, mm_tuned, wall_tuned = _measured_run(
+        program, tuned_plan, x_q, seed, backend
+    )
+    if report["predicted_tuned_mod_muls"] > report["predicted_default_mod_muls"]:
+        raise RuntimeError(
+            f"{subject}: tuned plan predicted cost exceeds default"
+        )  # pragma: no cover - tuner invariant
+    if mm_tuned > mm_default:
+        raise RuntimeError(
+            f"{subject}: tuned plan measured mod_muls exceed default "
+            f"({mm_tuned} > {mm_default})"
+        )
+    ref = qm.forward_int(x_q[None])[0].reshape(-1)
+    err_default = int(np.abs(out_default - ref).max())
+    err_tuned = int(np.abs(out_tuned - ref).max())
+    if max(err_default, err_tuned) > 2:
+        raise RuntimeError(
+            f"{subject}: plan output off plaintext reference "
+            f"(default err {err_default}, tuned err {err_tuned})"
+        )
+    return {
+        "bench": subject,
+        "model": qm.name,
+        "params": _params_info(TEST_LOOP, backend),
+        "chunk": chunk,
+        "tuning": result.tuning.tag() if result.tuning else "",
+        "layers": report["steps"],
+        "predicted_default_mod_muls": report["predicted_default_mod_muls"],
+        "predicted_tuned_mod_muls": report["predicted_tuned_mod_muls"],
+        "measured_default_mod_muls": mm_default,
+        "measured_tuned_mod_muls": mm_tuned,
+        "default_wall_s": round(wall_default, 6),
+        "tuned_wall_s": round(wall_tuned, 6),
+        "max_abs_error_default": err_default,
+        "max_abs_error_tuned": err_tuned,
+        "fingerprints_differ": tuned_plan.model_hash != default_plan.model_hash,
+    }
+
+
+def run_tune_bench(
+    out: str | Path | None = BENCH_TUNE_FILENAME,
+    chunk: int | None = 16,
+    seed: int = 41,
+    backend: str = "batched",
+) -> list[dict]:
+    """Autotuner bench over all subjects; writes ``out`` unless None."""
+    records = [
+        bench_tune(subject, chunk=chunk, seed=seed, backend=backend)
+        for subject in TUNE_SUBJECTS
+    ]
+    if out is not None:
+        Path(out).write_text(json.dumps(records, indent=2) + "\n")
     return records

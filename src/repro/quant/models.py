@@ -147,6 +147,30 @@ def vgg_lite(rng: np.random.Generator | None = None, width: float = 1.0) -> Sequ
     )
 
 
+def mobile_cnn(rng: np.random.Generator | None = None, width: float = 1.0) -> Sequential:
+    """A depthwise-separable CNN (MobileNet-style) for 1x28x28 inputs.
+
+    Not one of the paper's benchmarks; it exercises the grouped-conv
+    lowering rule: a stride-4 stem, then a depthwise 3x3 (``groups ==
+    channels``) + pointwise 1x1 separable pair, then the FC head. Grouped
+    convs lower through the dense-equivalent weight expansion, so this
+    model is bit-identical to its dense twin on every executor.
+    """
+    rng = rng or np.random.default_rng(0)
+    c = max(2, int(8 * width))
+    c2 = max(4, int(16 * width))
+    return Sequential(
+        Conv2d(1, c, kernel=5, stride=4, pad=2, rng=rng),  # -> c x 7 x 7
+        ReLU(),
+        Conv2d(c, c, kernel=3, stride=2, pad=1, groups=c, rng=rng),  # dw -> c x 4 x 4
+        ReLU(),
+        Conv2d(c, c2, kernel=1, stride=1, pad=0, rng=rng),  # pw -> c2 x 4 x 4
+        ReLU(),
+        Flatten(),
+        Linear(c2 * 4 * 4, 10, rng=rng),
+    )
+
+
 def build(name: str, rng: np.random.Generator | None = None, width: float = 1.0) -> Sequential:
     """Build a benchmark model by canonical name."""
     table = {
@@ -155,6 +179,7 @@ def build(name: str, rng: np.random.Generator | None = None, width: float = 1.0)
         "resnet20": resnet20,
         "resnet56": resnet56,
         "vgg_lite": vgg_lite,
+        "mobile_cnn": mobile_cnn,
     }
     if name not in table:
         raise KeyError(f"unknown model {name!r}; options: {sorted(table)}")
@@ -163,4 +188,4 @@ def build(name: str, rng: np.random.Generator | None = None, width: float = 1.0)
 
 def input_shape(name: str) -> tuple[int, int, int]:
     """(C, H, W) expected by each model."""
-    return (1, 28, 28) if name in ("mnist_cnn", "lenet") else (3, 32, 32)
+    return (1, 28, 28) if name in ("mnist_cnn", "lenet", "mobile_cnn") else (3, 32, 32)

@@ -90,24 +90,63 @@ def _col2im(cols: np.ndarray, x_shape, kh, kw, stride, pad):
     return out
 
 
+def expand_grouped_weight(weight: np.ndarray, groups: int) -> np.ndarray:
+    """Expand a grouped ``(out_ch, in_ch//groups, kh, kw)`` weight to dense.
+
+    The dense equivalent has shape ``(out_ch, in_ch, kh, kw)`` with zeros
+    outside the block diagonal: output channel ``o`` (in group
+    ``g = o // (out_ch // groups)``) only connects to input channels
+    ``[g * gin, (g + 1) * gin)``. Grouped and depthwise convolutions run
+    through the dense path everywhere (float forward, integer forward, and
+    the coefficient encoding) so they are *exactly* — not approximately —
+    a sparse dense conv, which keeps Eq. 1 packing untouched.
+    """
+    if groups == 1:
+        return weight
+    out_ch, gin, kh, kw = weight.shape
+    if out_ch % groups:
+        raise ValueError(f"out_ch {out_ch} not divisible by groups {groups}")
+    gout = out_ch // groups
+    dense = np.zeros((out_ch, gin * groups, kh, kw), dtype=weight.dtype)
+    for g in range(groups):
+        rows = slice(g * gout, (g + 1) * gout)
+        cols = slice(g * gin, (g + 1) * gin)
+        dense[rows, cols] = weight[rows]
+    return dense
+
+
 class Conv2d(Layer):
-    """2D convolution with He initialization."""
+    """2D convolution with He initialization.
+
+    ``groups`` splits input and output channels into independent groups
+    (``groups == in_ch == out_ch`` is a depthwise conv). The stored weight
+    keeps the grouped shape ``(out_ch, in_ch // groups, k, k)``; compute
+    runs through :func:`expand_grouped_weight`'s dense equivalent so every
+    downstream consumer (quantizer, encoder) sees an ordinary conv.
+    """
 
     def __init__(self, in_ch: int, out_ch: int, kernel: int, stride: int = 1,
-                 pad: int = 0, bias: bool = True, rng: np.random.Generator | None = None):
+                 pad: int = 0, bias: bool = True, rng: np.random.Generator | None = None,
+                 groups: int = 1):
         rng = rng or np.random.default_rng()
-        fan_in = in_ch * kernel * kernel
-        self.weight = rng.normal(0, np.sqrt(2.0 / fan_in), (out_ch, in_ch, kernel, kernel))
+        if in_ch % groups or out_ch % groups:
+            raise ValueError(
+                f"groups {groups} must divide in_ch {in_ch} and out_ch {out_ch}"
+            )
+        fan_in = (in_ch // groups) * kernel * kernel
+        self.weight = rng.normal(
+            0, np.sqrt(2.0 / fan_in), (out_ch, in_ch // groups, kernel, kernel)
+        )
         self.bias = np.zeros(out_ch) if bias else None
         self.stride, self.pad, self.kernel = stride, pad, kernel
-        self.in_ch, self.out_ch = in_ch, out_ch
+        self.in_ch, self.out_ch, self.groups = in_ch, out_ch, groups
         self.w_grad = np.zeros_like(self.weight)
         self.b_grad = np.zeros_like(self.bias) if bias else None
         self._cache = None
 
     def forward(self, x, train=False):
         cols, oh, ow = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
-        wmat = self.weight.reshape(self.out_ch, -1)
+        wmat = expand_grouped_weight(self.weight, self.groups).reshape(self.out_ch, -1)
         out = cols @ wmat.T
         if self.bias is not None:
             out = out + self.bias
@@ -118,10 +157,19 @@ class Conv2d(Layer):
     def backward(self, grad):
         x_shape, cols = self._cache
         g = grad.transpose(0, 2, 3, 1)  # (B, oh, ow, out_ch)
-        wmat = self.weight.reshape(self.out_ch, -1)
-        self.w_grad[...] = (
+        wmat = expand_grouped_weight(self.weight, self.groups).reshape(self.out_ch, -1)
+        dense_grad = (
             g.reshape(-1, self.out_ch).T @ cols.reshape(-1, cols.shape[-1])
-        ).reshape(self.weight.shape)
+        ).reshape(self.out_ch, self.in_ch, self.kernel, self.kernel)
+        if self.groups == 1:
+            self.w_grad[...] = dense_grad
+        else:
+            gout = self.out_ch // self.groups
+            gin = self.in_ch // self.groups
+            for gi in range(self.groups):
+                rows = slice(gi * gout, (gi + 1) * gout)
+                cols_g = slice(gi * gin, (gi + 1) * gin)
+                self.w_grad[rows] = dense_grad[rows, cols_g]
         if self.bias is not None:
             self.b_grad[...] = g.sum(axis=(0, 1, 2))
         dcols = g @ wmat

@@ -112,6 +112,11 @@ class QConv:
     out_shape: tuple[int, int, int]
     mac_peak: int = 0  # filled during integer inference (Fig. 4)
     out_max: int | None = None  # None -> quant config a_max
+    #: Channel groups of the source conv. The stored ``weight`` is always
+    #: the *dense equivalent* (zeros outside the group-diagonal blocks),
+    #: so execution and encoding are group-agnostic; the count is kept for
+    #: provenance and folded into ``program_fingerprint``.
+    groups: int = 1
 
     @property
     def remap_multiplier(self) -> float:
@@ -377,11 +382,17 @@ def quantize_model(
                 a = ACTIVATIONS[act](z)
                 out_scale = _act_scale(a, a_max)
                 w_q, w_scale = _quantize_weights(layer.weight, config.w_max)
+                # Grouped convs quantize the grouped tensor (zeros in the
+                # dense expansion quantize to exact zeros, so w_scale is
+                # identical either way) and store the dense equivalent —
+                # every downstream consumer sees an ordinary conv.
+                w_q = nn.expand_grouped_weight(w_q, getattr(layer, "groups", 1))
                 bias = layer.bias if layer.bias is not None else np.zeros(layer.out_ch)
                 bias_q = np.rint(bias / (scale * w_scale)).astype(np.int64)
                 ir.append(
                     QConv(
                         weight=w_q,
+                        groups=getattr(layer, "groups", 1),
                         bias=bias_q,
                         stride=layer.stride,
                         pad=layer.pad,

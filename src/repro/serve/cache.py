@@ -87,15 +87,28 @@ class PlanCache:
                 "hit_rate": round(self.hits / total, 4) if total else None,
             }
 
-    def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
+    def get(
+        self,
+        program,
+        params: FheParams,
+        chunk: int | None = None,
+        tuning=None,
+    ) -> CompiledProgram:
         """Load the program's plan from disk, compiling (and saving) on miss.
+
+        ``tuning`` (a :class:`repro.core.lowering.TuningConfig`) is folded
+        into ``program_fingerprint``, so a tuned and an untuned plan for
+        the same model never share an artifact — the cache can never serve
+        a stale layout for a different encoding config.
 
         A cached artifact that no longer loads — most commonly a stale wire
         version left behind by an older build — is treated as a miss and
         overwritten with a fresh compile, so cache directories survive
         format bumps without manual cleanup.
         """
-        path = self.path_for(program_fingerprint(program), params, chunk)
+        path = self.path_for(
+            program_fingerprint(program, tuning), params, chunk
+        )
         if path.exists():
             try:
                 plan = load_plan(path.read_bytes(), params)
@@ -105,7 +118,7 @@ class PlanCache:
             else:
                 self._record(hit=True)
                 return plan
-        plan = compile_program(program, params, chunk=chunk)
+        plan = compile_program(program, params, chunk=chunk, tuning=tuning)
         self._write_atomic(path, dump_plan(plan))
         self._record(hit=False)
         return plan
@@ -163,10 +176,16 @@ class ShardedPlanCache(PlanCache):
             / f"{model_hash[:16]}-{phash}{tag}{self.SUFFIX}"
         )
 
-    def get(self, program, params: FheParams, chunk: int | None = None) -> CompiledProgram:
+    def get(
+        self,
+        program,
+        params: FheParams,
+        chunk: int | None = None,
+        tuning=None,
+    ) -> CompiledProgram:
         """Memory, then (if disk-backed) sharded disk, then compile."""
         key = (
-            program_fingerprint(program),
+            program_fingerprint(program, tuning),
             params_fingerprint(params).hex(),
             chunk,
         )
@@ -177,9 +196,9 @@ class ShardedPlanCache(PlanCache):
             self._record(hit=True)
             return plan
         if self.root is not None:
-            plan = super().get(program, params, chunk)
+            plan = super().get(program, params, chunk, tuning)
         else:
-            plan = compile_program(program, params, chunk=chunk)
+            plan = compile_program(program, params, chunk=chunk, tuning=tuning)
             self._record(hit=False)
         with self._lock:
             self._memory[key] = plan

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import asyncio
 import time
-import warnings
 from typing import Iterable
 
 import numpy as np
@@ -65,13 +64,6 @@ from repro.serve.tenant import Tenant, TenantRegistry
 from repro.serve.workers import WorkerPool
 
 __all__ = ["AthenaService"]
-
-_POSITIONAL_DEPRECATION = (
-    "positional submit(tenant_id, model, x_q) is deprecated and will be "
-    "removed next release; pass an InferenceRequest (returns an "
-    "InferenceResult with lane/batch placement and timings)"
-)
-
 
 class AthenaService:
     """Async multi-tenant inference service over warm sessions.
@@ -144,6 +136,7 @@ class AthenaService:
         name: str,
         model,
         chunk: int | None = None,
+        tuning=None,
     ) -> str:
         """Compile ``model`` for every tenant; returns its fingerprint.
 
@@ -152,7 +145,10 @@ class AthenaService:
         its parameter set). Compilation goes through the shared plan cache,
         so the first tenant pays the compile and every further tenant with
         the same parameters gets a cache hit — the sharing the fingerprint
-        sharding exists for.
+        sharding exists for. ``tuning`` (a
+        :class:`repro.core.lowering.TuningConfig`) applies the autotuner's
+        per-step encoding choices; it is folded into the plan fingerprint,
+        so tuned and untuned registrations never collide in the cache.
         """
         if self.pool is not None:
             raise ParameterError("register models before start()")
@@ -177,6 +173,7 @@ class AthenaService:
                 chunk=chunk,
                 cache=self.cache,
                 backend=tenant.backend,
+                tuning=tuning,
             )
             if fingerprint is None:
                 fingerprint = core.fingerprint
@@ -317,19 +314,9 @@ class AthenaService:
         self.scheduler.submit(request)
         return request.future
 
-    def submit_nowait(
-        self,
-        request: InferenceRequest | str,
-        model: str | None = None,
-        x_q: np.ndarray | None = None,
-    ) -> asyncio.Future:
-        """Admit one request; returns the future resolving to its result.
-
-        The typed form — ``submit_nowait(InferenceRequest(...))`` —
-        resolves to an :class:`InferenceResult`. The legacy positional form
-        ``submit_nowait(tenant_id, model, x_q)`` is deprecated (one-release
-        shim, emits :class:`DeprecationWarning`) and resolves to the bare
-        output array, exactly as before.
+    def submit_nowait(self, request: InferenceRequest) -> asyncio.Future:
+        """Admit one request; returns the future resolving to its
+        :class:`InferenceResult`.
 
         Raises :class:`~repro.errors.ServiceOverloaded` synchronously when
         the tenant's queue is full (the exception carries ``tenant_id`` /
@@ -337,75 +324,42 @@ class AthenaService:
         :class:`ParameterError` for unknown tenants/models — in both cases
         nothing was queued.
         """
-        if isinstance(request, InferenceRequest):
-            if model is not None or x_q is not None:
-                raise ParameterError(
-                    "pass either an InferenceRequest or the legacy "
-                    "(tenant_id, model, x_q) triple, not both"
-                )
-            return self._admit(request)
-        warnings.warn(_POSITIONAL_DEPRECATION, DeprecationWarning, stacklevel=2)
-        if model is None or x_q is None:
+        if not isinstance(request, InferenceRequest):
             raise ParameterError(
-                "legacy submit_nowait needs (tenant_id, model, x_q)"
+                "submit_nowait takes an InferenceRequest (the positional "
+                "(tenant_id, model, x_q) form was removed)"
             )
-        inner = self._admit(
-            InferenceRequest(tenant_id=request, model=model, x_q=x_q)
-        )
-        outer = asyncio.get_running_loop().create_future()
+        return self._admit(request)
 
-        def _unwrap(done: asyncio.Future) -> None:
-            if outer.cancelled():
-                return
-            exc = done.exception() if not done.cancelled() else None
-            if done.cancelled():
-                outer.cancel()
-            elif exc is not None:
-                outer.set_exception(exc)
-            else:
-                outer.set_result(done.result().output)
-
-        inner.add_done_callback(_unwrap)
-        return outer
-
-    async def submit(
-        self,
-        request: InferenceRequest | str,
-        model: str | None = None,
-        x_q: np.ndarray | None = None,
-    ) -> InferenceResult | np.ndarray:
-        """One encrypted inference through the full service path.
-
-        ``await submit(InferenceRequest(...))`` returns the
-        :class:`InferenceResult`; the deprecated positional form returns
-        the bare output array (see :meth:`submit_nowait`).
-        """
-        return await self.submit_nowait(request, model, x_q)
+    async def submit(self, request: InferenceRequest) -> InferenceResult:
+        """One encrypted inference through the full service path."""
+        return await self.submit_nowait(request)
 
     # -- synchronous convenience -------------------------------------------
 
     def serve_batch(self, requests: list) -> list:
         """Start, answer ``requests`` concurrently, stop; results in order.
 
-        ``requests`` is a list of :class:`InferenceRequest` (returns
-        :class:`InferenceResult` objects) or — deprecated — a list of
-        ``(tenant_id, model, x_q)`` tuples (returns bare output arrays).
-        The whole batch is admitted up front, so the per-tenant queue bound
-        must cover each tenant's share of the batch — size
-        ``queue_capacity`` accordingly or submissions raise
-        :class:`~repro.errors.ServiceOverloaded` exactly as they would
-        against a live overloaded service.
+        ``requests`` is a list of :class:`InferenceRequest`; results are
+        the matching :class:`InferenceResult` objects. The whole batch is
+        admitted up front, so the per-tenant queue bound must cover each
+        tenant's share of the batch — size ``queue_capacity`` accordingly
+        or submissions raise :class:`~repro.errors.ServiceOverloaded`
+        exactly as they would against a live overloaded service.
         """
+        for request in requests:
+            # Fail fast, before start() keygens the workers: a malformed
+            # batch must not consume a one-shot service lifecycle.
+            if not isinstance(request, InferenceRequest):
+                raise ParameterError(
+                    "serve_batch takes InferenceRequest objects (the "
+                    "positional (tenant_id, model, x_q) form was removed)"
+                )
 
         async def _run() -> list:
             await self.start()
             try:
-                futures = [
-                    self.submit_nowait(req)
-                    if isinstance(req, InferenceRequest)
-                    else self.submit_nowait(*req)
-                    for req in requests
-                ]
+                futures = [self.submit_nowait(req) for req in requests]
                 return list(await asyncio.gather(*futures))
             finally:
                 await self.stop()

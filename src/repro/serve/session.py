@@ -83,6 +83,7 @@ class SessionCore:
         plan: CompiledProgram | None = None,
         cache=None,
         backend: Backend | str | None = None,
+        tuning=None,
     ) -> "SessionCore":
         """Lower + compile (or cache-load, or bind) the compile-time half.
 
@@ -91,6 +92,10 @@ class SessionCore:
         caller-supplied deserialized plan, ``cache`` consults a
         :class:`repro.serve.PlanCache`, and otherwise the program is
         compiled here. The duration of that plan work is ``compile_s``.
+        ``tuning`` (a :class:`repro.core.lowering.TuningConfig`, e.g. from
+        :func:`repro.core.tune.tune_model`) selects per-step encodings and
+        is part of the cache key — tuned and untuned cores never share a
+        cached plan.
         """
         if isinstance(model, AthenaProgram):
             program = model
@@ -104,9 +109,11 @@ class SessionCore:
             if plan is not None:
                 plan.bind(program, params)
             elif cache is not None:
-                plan = cache.get(program, params, chunk)
+                plan = cache.get(program, params, chunk, tuning)
             else:
-                plan = compile_program(program, params, chunk=chunk)
+                plan = compile_program(
+                    program, params, chunk=chunk, tuning=tuning
+                )
         return cls(
             program=program,
             params=params,
@@ -285,6 +292,7 @@ class InferenceSession:
         plan: CompiledProgram | None = None,
         cache=None,
         backend: Backend | str | None = None,
+        tuning=None,
     ):
         self.core = SessionCore.build(
             model,
@@ -294,6 +302,7 @@ class InferenceSession:
             plan=plan,
             cache=cache,
             backend=backend,
+            tuning=tuning,
         )
         self.runtime = SessionRuntime(self.core, pmap=pmap)
 

@@ -99,3 +99,108 @@ class TestFingerprint:
         raw = serialize.dump_ciphertext(ct)
         assert serialize.guess_params(raw) is p
         assert serialize.guess_params(b"xx") is None
+
+
+class TestPlanWireV3:
+    """The v3 plan format: tuning config on the wire, per-step overrides
+    honored at load, and layout-bearing steps elided as recompile stubs."""
+
+    def _micro_program(self):
+        from repro.core.program import lower
+        from repro.fhe.params import TEST_LOOP
+        from repro.perf.bench import mnist_cnn_micro
+
+        return lower(mnist_cnn_micro(np.random.default_rng(5)), TEST_LOOP)
+
+    def test_tuning_survives_round_trip(self):
+        from repro.core.lowering import StepEncodingChoice, TuningConfig
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        tuning = TuningConfig(
+            (("qconv0", StepEncodingChoice(chunk=32, bsgs=4)),))
+        plan = compile_program(
+            self._micro_program(), TEST_LOOP, chunk=16, tuning=tuning)
+        loaded = serialize.load_plan(serialize.dump_plan(plan), TEST_LOOP)
+        assert loaded.tuning is not None
+        assert loaded.tuning.tag() == tuning.tag()
+        assert loaded.model_hash == plan.model_hash
+
+    def test_per_step_overrides_honored_at_load(self):
+        from repro.core.lowering import StepEncodingChoice, TuningConfig
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        tuning = TuningConfig(
+            (("qconv0", StepEncodingChoice(chunk=32, bsgs=4)),))
+        plan = compile_program(
+            self._micro_program(), TEST_LOOP, chunk=16, tuning=tuning)
+        loaded = serialize.load_plan(serialize.dump_plan(plan), TEST_LOOP)
+        conv = loaded.steps[0]
+        # The chunk opt-out keeps the round single-tile despite the global
+        # chunk=16; the BSGS override reaches the rebuilt FBS schedule.
+        assert conv.tiles is None
+        assert conv.fbs.bs == 4
+        assert loaded.needs_upgrade() is False
+
+    def test_untuned_plan_has_no_tuning(self):
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        plan = compile_program(self._micro_program(), TEST_LOOP)
+        loaded = serialize.load_plan(serialize.dump_plan(plan), TEST_LOOP)
+        assert loaded.tuning is None
+
+    def test_layout_bearing_steps_become_stubs(self):
+        from repro.core.plan import compile_program
+        from repro.core.program import lower
+        from repro.fhe.params import TEST_LOOP
+        from repro.perf.bench import resnet_block_micro
+
+        program = lower(
+            resnet_block_micro(np.random.default_rng(5)), TEST_LOOP)
+        plan = compile_program(program, TEST_LOOP)
+        loaded = serialize.load_plan(serialize.dump_plan(plan), TEST_LOOP)
+        kinds = [s.kind for s in loaded.steps]
+        assert kinds == [s.kind for s in plan.steps]
+        # The residual (and the placed-packing stem feeding it) cannot be
+        # fully captured on the wire; they come back as recompile stubs.
+        stubs = [getattr(s, "stub", False) for s in loaded.steps]
+        assert stubs[1] is True  # the residual join
+        assert loaded.needs_upgrade() is True
+        # The plain tail FC round-trips in full.
+        assert stubs[-1] is False
+
+    def test_truncated_plan_rejected(self):
+        from repro.core.plan import compile_program
+        from repro.fhe.params import TEST_LOOP
+
+        raw = serialize.dump_plan(
+            compile_program(self._micro_program(), TEST_LOOP))
+        with pytest.raises(ParameterError):
+            serialize.load_plan(raw[: len(raw) // 3], TEST_LOOP)
+
+    @pytest.mark.slow
+    def test_stub_upgrade_runs_bit_identical(self):
+        """A loaded stub-bearing plan recompiles in the executor and then
+        produces byte-identical outputs to the original in-memory plan."""
+        from repro.core.framework import AthenaPipeline
+        from repro.core.plan import compile_program
+        from repro.core.program import lower
+        from repro.fhe.params import TEST_LOOP
+        from repro.perf.bench import resnet_block_micro
+
+        rng = np.random.default_rng(5)
+        qm = resnet_block_micro(rng)
+        program = lower(qm, TEST_LOOP)
+        x_q = rng.integers(-2, 3, (1, 6, 6)).astype(np.int64)
+
+        plan = compile_program(program, TEST_LOOP)
+        want = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, plan=plan)
+
+        loaded = serialize.load_plan(serialize.dump_plan(plan), TEST_LOOP)
+        assert loaded.needs_upgrade()
+        got = AthenaPipeline(TEST_LOOP, seed=7).run_program(
+            program, x_q, plan=loaded)
+        assert np.array_equal(got, want)

@@ -488,11 +488,11 @@ class TestServiceValidation:
                 InferenceRequest("a", "micro", np.zeros((1, 4, 4)))
             )
 
-    def test_mixing_typed_and_positional_args_rejected(self):
+    def test_positional_triple_rejected(self):
+        """The tuple-era positional API is gone: typed requests only."""
         service = AthenaService([Tenant("a", TEST_FBS)])
-        request = InferenceRequest("a", "micro", np.zeros((1, 4, 4)))
-        with pytest.raises(ParameterError):
-            service.submit_nowait(request, "micro")
+        with pytest.raises(ParameterError, match="InferenceRequest"):
+            service.submit_nowait(("a", "micro", np.zeros((1, 4, 4))))
 
 
 # -- full-stack, real ciphertexts --------------------------------------------
@@ -649,8 +649,8 @@ class TestServiceEndToEnd:
             by_batch.setdefault(result.batch_id, set()).add(result.tenant_id)
         assert all(len(tids) == 1 for tids in by_batch.values())
 
-    def test_legacy_positional_api_warns_and_returns_arrays(self):
-        """One-release shim: the tuple-era call sites keep working."""
+    def test_serve_batch_rejects_tuple_era_requests(self):
+        """The positional shim was removed: tuples fail fast, typed works."""
         qm = _micro_model()
         rng = np.random.default_rng(31)
         service = AthenaService(
@@ -660,11 +660,11 @@ class TestServiceEndToEnd:
         )
         service.register_model("micro", qm)
         x_q = _micro_input(rng)
-        with pytest.warns(DeprecationWarning, match="InferenceRequest"):
-            outputs = service.serve_batch([("a", "micro", x_q)])
-        assert isinstance(outputs[0], np.ndarray)
+        with pytest.raises(ParameterError, match="InferenceRequest"):
+            service.serve_batch([("a", "micro", x_q)])
+        results = service.serve_batch([InferenceRequest("a", "micro", x_q)])
         assert np.array_equal(
-            outputs[0], InferenceSession(qm, TEST_FBS, seed=1).run(x_q)
+            results[0].output, InferenceSession(qm, TEST_FBS, seed=1).run(x_q)
         )
 
     def test_queue_full_sheds_against_live_service(self):
