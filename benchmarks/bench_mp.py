@@ -1,0 +1,48 @@
+"""Mixed-precision allocator benchmark: accuracy-vs-FHE-cost Pareto points.
+
+Runs the ``repro.quant.mp`` allocator over the TEST_FBS micro subject at a
+sweep of accuracy-drop budgets, compiles and executes every allocated plan
+through the real-ciphertext pipeline under a CountingBackend, and leaves a
+``BENCH_mp.json`` artifact (per-budget chosen bit assignments, calibration
+accuracy, predicted + measured mod_muls, wall times) plus a predicted-only
+record for the full-size zoo model at ATHENA parameters. The CI
+``mp-bench`` job runs the same harness via ``repro.perf.bench`` and gates
+on the records.
+"""
+
+import json
+
+from repro.perf.bench import run_mp_bench
+
+
+def test_bench_mp(once, tmp_path):
+    out = tmp_path / "BENCH_mp.json"
+    records = once(run_mp_bench, out=str(out))
+    print("\n" + json.dumps(records, indent=2))
+
+    head_rec = records[0]
+    assert head_rec["bench"] == "mnist_cnn"
+    head = head_rec["headline"]
+    # The allocator's core guarantee: the chosen config beats the uniform
+    # baseline in *measured* ops and wall time, within the drop budget.
+    assert head["measured_mod_muls"] < head_rec["baseline_measured_mod_muls"]
+    assert head["wall_s"] < head_rec["baseline_wall_s"]
+    assert head["accuracy_drop"] <= head["budget"] + 1e-12
+    for point in head_rec["points"]:
+        # Predicted cost never exceeds the uniform baseline: the all-uniform
+        # floor (restricted LUTs only) is always admissible.
+        assert point["predicted_mod_muls"] < head_rec[
+            "baseline_predicted_mod_muls"]
+        assert point["round_trip_identical"], point
+        assert point["max_abs_error"] <= 64, point
+
+    # Distinct fingerprints per mp config: plan caches / serve key on them.
+    fps = {p["fingerprint"] for p in head_rec["points"]}
+    assert len(fps) == len({p["mp"] for p in head_rec["points"]})
+
+    zoo = records[1]
+    assert zoo["bench"].endswith("_zoo")
+    for point in zoo["points"]:
+        assert point["predicted_mod_muls"] < zoo["baseline"][
+            "predicted_mod_muls"]
+        assert point["accuracy_drop"] <= point["budget"] + 1e-12

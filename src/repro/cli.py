@@ -14,6 +14,10 @@ Commands:
                                ``--tune`` bakes in autotuned encodings.
 * ``tune``                   — cost-model encoding autotuner: per-step
                                strategy/chunk/BSGS picks + predicted savings.
+* ``allocate``               — mixed-precision bit allocator: per-layer
+                               bit-widths minimizing predicted FHE cost under
+                               an accuracy-drop budget; ``--config-out``
+                               writes the artifact ``compile --mp`` consumes.
 * ``bench``                  — pipeline + RNS benchmarks -> BENCH_pipeline.json
                                (includes cold-compile vs warm-run walls and
                                per-phase executed op counts; ``--backend``
@@ -42,7 +46,7 @@ import argparse
 import json
 import sys
 
-from repro.errors import ReproError, UnsupportedLayer
+from repro.errors import ModulusOverflow, ReproError, UnsupportedLayer
 
 EXIT_OK = 0
 EXIT_FAILURE = 1
@@ -164,6 +168,36 @@ def _tune_subject(name: str):
     return builder(np.random.default_rng(5))
 
 
+def _load_mp_payload(path: str) -> tuple:
+    """Read a ``repro allocate --config-out`` artifact (or a bare MpConfig).
+
+    Returns (MpConfig, bias_correct, lut_margin). Accepts both the wrapped
+    shape ``{"mp": {...}, "bias_correct": ..., "lut_margin": ...}`` and a
+    bare ``{"assignments": {...}}``.
+    """
+    from repro.quant.mp import DEFAULT_LUT_MARGIN, MpConfig
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    mp = MpConfig.from_json(payload.get("mp", payload))
+    bias_correct = bool(payload.get("bias_correct", True))
+    lut_margin = int(payload.get("lut_margin", DEFAULT_LUT_MARGIN))
+    return mp, bias_correct, lut_margin
+
+
+def _mp_subject(mp_path: str | None):
+    """The mixed-precision micro subject, quantized per the --mp artifact."""
+    from repro.quant.mp import mp_micro_subject
+    from repro.quant.quantize import quantize_model
+
+    model, x, _y, config = mp_micro_subject()
+    if not mp_path:
+        return quantize_model(model, x, config, name="mp_cnn")
+    mp, bias_correct, lut_margin = _load_mp_payload(mp_path)
+    return quantize_model(model, x, config, name="mp_cnn", mp=mp,
+                          bias_correct=bias_correct, lut_margin=lut_margin)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     """Compile a micro benchmark model into an on-disk plan artifact."""
     import time
@@ -173,8 +207,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.fhe.params import get_params
     from repro.fhe.serialize import dump_plan
 
+    if args.mp and args.model != "mp_cnn":
+        print("repro: error: --mp requires --model mp_cnn", file=sys.stderr)
+        return EXIT_USAGE
     params = get_params(args.params)
-    program = lower(_tune_subject(args.model), params)
+    subject = _mp_subject(args.mp) if args.model == "mp_cnn" \
+        else _tune_subject(args.model)
+    program = lower(subject, params)
     tuning = None
     if args.tune:
         from repro.core.tune import tune_program
@@ -193,6 +232,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         "chunk": args.chunk,
         "tuned": bool(args.tune),
         "tuning": tuning.tag() if tuning else None,
+        "mp": args.mp,
         "model_hash": plan.model_hash,
         "compile_s": round(compile_s, 6),
         "bytes": len(raw),
@@ -266,6 +306,68 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             f"({row['candidates']} candidates)"
         )
     _emit(args, "\n".join(lines) + "\n", report)
+    return EXIT_OK
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    """Mixed-precision bit allocation on the TEST_FBS micro subject."""
+    from repro.fhe.params import get_params
+    from repro.quant.mp import allocate_bits, mp_micro_subject
+
+    if args.bench_out:
+        from repro.perf.bench import run_mp_bench
+
+        records = run_mp_bench(out=args.bench_out, mode=args.mode)
+        lines = [f"wrote {args.bench_out}"]
+        for r in records:
+            if "headline" in r:
+                h = r["headline"]
+                lines.append(
+                    f"  {r['bench']}: measured "
+                    f"{r['baseline_measured_mod_muls']:.3e} -> "
+                    f"{h['measured_mod_muls']:.3e} mod_muls, wall "
+                    f"{r['baseline_wall_s']:.2f}s -> {h['wall_s']:.2f}s, "
+                    f"acc {r['baseline_accuracy']:.4f} -> "
+                    f"{h['accuracy']:.4f} [{h['mp']}]"
+                )
+            else:
+                b = r["baseline"]
+                best = min(r["points"], key=lambda p: p["predicted_mod_muls"])
+                lines.append(
+                    f"  {r['bench']}: predicted "
+                    f"{b['predicted_mod_muls']:.3e} -> "
+                    f"{best['predicted_mod_muls']:.3e} mod_muls, acc "
+                    f"{b['accuracy']:.4f} -> {best['accuracy']:.4f} "
+                    f"[{best['mp']}]"
+                )
+        if args.json:
+            sys.stdout.write(json.dumps(records, indent=2) + "\n")
+        else:
+            sys.stdout.write("\n".join(lines) + "\n")
+        return EXIT_OK
+
+    params = get_params(args.params)
+    model, x, y, config = mp_micro_subject(seed=args.seed)
+    res = allocate_bits(
+        model, x, y, config,
+        params=params,
+        budget=args.budget,
+        mode=args.mode,
+        bias_correct=not args.no_bias_correct,
+        lut_margin=args.lut_margin,
+    )
+    if args.config_out:
+        artifact = {
+            "mp": res.mp.to_json(),
+            "bias_correct": res.bias_correct,
+            "lut_margin": res.lut_margin,
+        }
+        with open(args.config_out, "w") as fh:
+            fh.write(json.dumps(artifact, indent=2) + "\n")
+    text = res.report() + "\n"
+    if args.config_out:
+        text += f"wrote {args.config_out}\n"
+    _emit(args, text, res.to_json())
     return EXIT_OK
 
 
@@ -354,6 +456,26 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import BENCH_FILENAME, run_benches
+
+    if args.mp:
+        from repro.perf.bench import BENCH_MP_FILENAME, run_mp_bench
+
+        out = args.out if args.out else BENCH_MP_FILENAME
+        records = run_mp_bench(out=out, seed=args.seed, backend=args.backend)
+        r = records[0]
+        h = r["headline"]
+        text = (
+            f"wrote {out}\n"
+            f"  {r['bench']}: measured "
+            f"{r['baseline_measured_mod_muls']:.3e} -> "
+            f"{h['measured_mod_muls']:.3e} mod_muls, wall "
+            f"{r['baseline_wall_s']:.2f}s -> {h['wall_s']:.2f}s [{h['mp']}]\n"
+        )
+        if args.json:
+            sys.stdout.write(json.dumps(records, indent=2) + "\n")
+        else:
+            sys.stdout.write(text)
+        return EXIT_OK
 
     out = args.out if args.out else BENCH_FILENAME
     records = run_benches(out=out, quick=args.quick, seed=args.seed,
@@ -595,8 +717,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", parents=[seed],
                        help="precompute a CompiledProgram plan artifact")
-    p.add_argument("--model", default="mnist_cnn", choices=_TUNE_SUBJECTS,
-                   help="micro bench subject (default: mnist_cnn)")
+    p.add_argument("--model", default="mnist_cnn",
+                   choices=_TUNE_SUBJECTS + ["mp_cnn"],
+                   help="micro bench subject (default: mnist_cnn; 'mp_cnn' "
+                        "is the mixed-precision subject of "
+                        "'repro allocate')")
     p.add_argument("--params", default="test-loop",
                    help="parameter preset (default: test-loop)")
     p.add_argument("--chunk", type=int, default=None,
@@ -605,11 +730,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the encoding autotuner first and bake its "
                         "per-step choices into the plan (changes the "
                         "fingerprint)")
+    p.add_argument("--mp", metavar="PATH", default=None,
+                   help="mixed-precision config artifact from "
+                        "'repro allocate --config-out' (requires "
+                        "--model mp_cnn; changes the fingerprint)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="artifact path (default: <model>.plan)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON summary")
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("allocate", parents=[seed, output],
+                       help="mixed-precision bit allocation (repro.quant.mp)")
+    p.add_argument("--params", default="test-fbs",
+                   help="parameter preset for cost scoring "
+                        "(default: test-fbs)")
+    p.add_argument("--budget", type=float, default=0.02,
+                   help="max calibration accuracy drop (default: 0.02)")
+    p.add_argument("--mode", default="greedy", choices=["greedy", "dp"],
+                   help="knapsack solver: greedy ratio or exact DP "
+                        "(default: greedy)")
+    p.add_argument("--no-bias-correct", action="store_true",
+                   help="disable CalibTIP-style per-layer bias correction")
+    p.add_argument("--lut-margin", type=int, default=8,
+                   help="restricted-LUT safety margin over the calibrated "
+                        "MAC peak (default: 8)")
+    p.add_argument("--config-out", metavar="PATH", default=None,
+                   help="write the chosen MpConfig artifact for "
+                        "'repro compile --mp'")
+    p.add_argument("--bench-out", metavar="PATH", default=None,
+                   help="run the full measured mp harness instead and "
+                        "write BENCH_mp.json to PATH")
+    p.set_defaults(func=_cmd_allocate, seed=7)
 
     p = sub.add_parser("tune", parents=[output],
                        help="cost-model encoding autotuner (per-step picks)")
@@ -629,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pipeline + RNS benchmarks (BENCH_pipeline.json)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: fewer repetitions")
+    p.add_argument("--mp", action="store_true",
+                   help="run the mixed-precision allocator bench instead "
+                        "(BENCH_mp.json)")
     p.add_argument("--backend", default="batched",
                    choices=["batched", "serial"],
                    help="op-dispatch backend to measure (default: batched)")
@@ -725,6 +880,13 @@ def main(argv: list[str] | None = None) -> int:
         what = "" if exc.layer_type is None else f" ({exc.layer_type})"
         print(f"repro: error: unsupported layer{where}{what}: {exc}",
               file=sys.stderr)
+        return EXIT_FAILURE
+    except ModulusOverflow as exc:
+        hint = ""
+        if exc.layer is not None and exc.excess is not None:
+            hint = (f" (allocate a narrower bit-width to {exc.layer} "
+                    f"or raise t; needs {exc.excess} less)")
+        print(f"repro: error: {exc}{hint}", file=sys.stderr)
         return EXIT_FAILURE
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

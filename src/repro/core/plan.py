@@ -126,14 +126,26 @@ def program_fingerprint(program: AthenaProgram,
                 )
                 if groups != 1:
                     h.update(f":g{groups}".encode())
+                # Mixed-precision material is appended only when present so
+                # digests of legacy single-config models are unchanged.
+                bits = getattr(layer, "bits", None)
+                lut_r = getattr(layer, "lut_range", None)
+                if bits is not None or lut_r:
+                    h.update(
+                        f":mp:{bits.label if bits else '-'}:{lut_r or 0}".encode()
+                    )
                 h.update(np.ascontiguousarray(layer.weight).tobytes())
                 h.update(np.ascontiguousarray(layer.bias).tobytes())
             elif step.kind == "remap":
                 h.update(f":{step.lut.kind}:{step.lut.divisor}:{step.s2c:d}".encode())
+                if step.lut.lut_range:
+                    h.update(f":r{step.lut.lut_range}".encode())
             elif step.kind == "pool":
                 h.update(f":{step.op}".encode())
             elif step.kind == "residual":
                 h.update(f":{step.layer.skip_alpha}:{step.s2c:d}".encode())
+                if getattr(step.layer, "lut_range", None):
+                    h.update(f":r{step.layer.lut_range}".encode())
                 feed(step.body.steps)
                 if step.shortcut:
                     feed(step.shortcut.steps)

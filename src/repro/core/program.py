@@ -68,7 +68,12 @@ from repro.core import lowering
 from repro.core.encoding import valid_output_positions
 from repro.core.lowering import StepEncodingChoice  # noqa: F401 (re-export)
 from repro.errors import QuantizationError
-from repro.fhe.fbs import FbsLut
+from repro.fhe.fbs import (
+    FbsLut,
+    evaluate_poly_all,
+    interpolate_range,
+    register_interpolation,
+)
 from repro.fhe.params import ATHENA, FheParams
 from repro.quant import nn
 from repro.quant.quantize import (
@@ -108,10 +113,30 @@ class LutSpec:
     source: object  # Q-node providing remap()/mac_peak
     divisor: int = 1
     name: str = ""
+    #: Restricted interpolation domain radius (from the source node's
+    #: calibrated ``lut_range``): the MAC provably stays in [-r, r], so
+    #: the table only needs to match the exact semantics there and may be
+    #: the degree <= 2r interpolant everywhere else. None -> full-domain.
+    lut_range: int | None = None
 
     def build(self, cfg: QuantConfig, t: int | None = None) -> FbsLut:
         """Materialize the table over Z_t."""
         t = t or cfg.t
+        r = self.lut_range
+        if r and 2 * r + 1 < t:
+            # Restricted-domain build: interpolate the exact semantics over
+            # the certified MAC range only. The resulting degree <= 2r
+            # polynomial (vs t-1 generically) is what FBS evaluates, so the
+            # BSGS ladder shrinks with the layer's bit allocation. The full
+            # table it induces on Z_t is registered with its coefficients:
+            # FbsLut then picks them up through the interpolation cache and
+            # plan serialization round-trips bit-identically.
+            pts = np.arange(-r, r + 1, dtype=np.int64)
+            vals = self.apply_exact(pts, cfg)
+            coeffs = interpolate_range(vals, r, t)
+            table = evaluate_poly_all(coeffs, t)
+            register_interpolation(table, t, coeffs)
+            return FbsLut(table, t, self.name)
         raw = np.arange(t, dtype=np.int64)
         domain = np.where(raw > t // 2, raw - t, raw)
         if self.kind == "remap":
@@ -130,15 +155,17 @@ class LutSpec:
 
 def lut_spec(layer) -> LutSpec:
     """LUT recipe for one quantized-IR node (part of the lowering pass)."""
+    rng = getattr(layer, "lut_range", None)
     if isinstance(layer, (QConv, QLinear, QResidual)):
         name = getattr(layer, "activation", "residual-add")
-        return LutSpec("remap", layer, name=f"remap-{name}")
+        return LutSpec("remap", layer, name=f"remap-{name}", lut_range=rng)
     if isinstance(layer, QAvgPool):
         k2 = layer.kernel**2
-        return LutSpec("divide", layer, divisor=k2, name=f"avgpool/{k2}")
+        return LutSpec("divide", layer, divisor=k2, name=f"avgpool/{k2}",
+                       lut_range=rng)
     if isinstance(layer, QGlobalAvgPool):
         return LutSpec("divide", layer, divisor=layer.spatial,
-                       name=f"gap/{layer.spatial}")
+                       name=f"gap/{layer.spatial}", lut_range=rng)
     raise QuantizationError(f"no LUT for {type(layer).__name__}")
 
 

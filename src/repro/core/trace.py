@@ -276,6 +276,13 @@ def effective_t(layer, params: FheParams, cap: int | None = None) -> int:
     have populated ``mac_peak``; falls back to t (or ``cap``) otherwise.
     """
     cap = cap or params.t  # may exceed params.t: w8a8 uses a larger prime
+    rng = getattr(layer, "lut_range", None)
+    if rng:
+        # Certified restricted LUT domain (mixed-precision path): the
+        # compiled table IS the degree <= 2r interpolant, so the FBS cost
+        # model may take the exact polynomial size — no power-of-two or
+        # 256-floor conservatism needed.
+        return min(cap, 2 * rng + 1)
     peak = getattr(layer, "mac_peak", 0)
     if not peak:
         return cap

@@ -46,6 +46,34 @@ class UnsupportedLayer(QuantizationError):
         self.layer_type = layer_type
 
 
+class ModulusOverflow(QuantizationError):
+    """A calibrated MAC peak exceeds the plaintext modulus headroom ``t//2``.
+
+    Raised by :meth:`QuantizedModel.validate_t`: a MAC wrapping mod ``t``
+    silently corrupts the LUT input under FHE, so the check names the worst
+    offending layer instead of returning a bare bool. ``layer`` is the
+    offender's label (type + index within ``mac_layers()`` order),
+    ``mac_peak`` its observed peak, ``t`` the modulus, and ``excess`` how
+    far the peak overshoots ``t//2`` — i.e. the minimum amount calibration
+    or a narrower bit-width assignment must shave off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        layer: str | None = None,
+        mac_peak: int | None = None,
+        t: int | None = None,
+        excess: int | None = None,
+    ):
+        super().__init__(message)
+        self.layer = layer
+        self.mac_peak = mac_peak
+        self.t = t
+        self.excess = excess
+
+
 class ScheduleError(ReproError):
     """The accelerator simulator was given an unschedulable op trace."""
 

@@ -38,9 +38,11 @@ __all__ = [
     "FbsCost",
     "FbsLut",
     "FbsPlan",
+    "evaluate_poly_all",
     "evaluate_poly_plain",
     "fbs_evaluate",
     "interpolate_lut",
+    "interpolate_range",
     "register_interpolation",
 ]
 
@@ -131,6 +133,81 @@ def _interpolate_dense(values: np.ndarray, t: int) -> np.ndarray:
     # Zero-point indicator correction on the top coefficient (see above).
     coeffs[t - 1] = (coeffs[t - 1] - values[0]) % t
     return coeffs % t
+
+
+def interpolate_range(values: np.ndarray, r: int, t: int) -> np.ndarray:
+    """Coefficients (length t) of the degree <= 2r polynomial through the
+    centered points x = -r..r, with ``values[x + r] = P(x) mod t``.
+
+    The full-domain interpolation (:func:`interpolate_lut`) pins all t
+    points and generically has degree t-1. When a layer's MACs only ever
+    occupy [-r, r], the table is unconstrained outside that window, and
+    the minimal agreeing polynomial has degree <= 2r — the paper's
+    flexible per-layer LUT sizing (§3.3 / Fig. 12) realized at compile
+    time: a lower degree means proportionally fewer baby-step SMults and
+    a shorter giant-step ladder in Algorithm 2.
+
+    Newton divided differences over the consecutive integer abscissae
+    (the level-j denominators are all j, so one modular inverse per
+    level), then an O(m^2) Horner expansion to monomial coefficients.
+    """
+    m = 2 * r + 1
+    values = np.mod(np.asarray(values, dtype=np.int64), t)
+    if r < 0 or values.shape != (m,):
+        raise ParameterError(f"restricted LUT needs 2r+1={m} entries")
+    if m > t:
+        raise ParameterError(f"restricted range 2*{r}+1 exceeds t={t}")
+    c = values.copy()
+    for j in range(1, m):
+        c[j:] = (c[j:] - c[j - 1 : m - 1]) * inv_mod(j, t) % t
+    poly = np.zeros(t, dtype=np.int64)
+    poly[0] = c[m - 1]
+    deg = 0
+    for k in range(m - 2, -1, -1):
+        # poly <- poly * (x - x_k) + c[k], node x_k = k - r
+        xk = (k - r) % t
+        shifted = np.zeros(deg + 2, dtype=np.int64)
+        shifted[1:] = poly[: deg + 1]
+        poly[: deg + 2] = (shifted - xk * poly[: deg + 2]) % t
+        poly[0] = (poly[0] + c[k]) % t
+        deg += 1
+    return poly
+
+
+def evaluate_poly_all(coeffs: np.ndarray, t: int) -> np.ndarray:
+    """Evaluate the LUT polynomial at every point: table[x] = P(x) mod t.
+
+    The inverse of :func:`interpolate_lut`: for t-1 a power of two this
+    is one multiplicative-group DFT (O(t log t)); otherwise vectorized
+    Horner over the polynomial's actual degree. Used to materialize the
+    full table of a range-restricted polynomial, so that re-interpolating
+    the table recovers exactly the low-degree coefficients (the unique
+    interpolant of degree <= t-1 through all t points *is* P).
+    """
+    coeffs = np.mod(np.asarray(coeffs, dtype=np.int64), t)
+    if coeffs.shape != (t,):
+        raise ParameterError(f"coefficient vector must have t={t} entries")
+    if (t - 1) & (t - 2) == 0 and t > 3:  # t-1 is a power of two
+        g = primitive_root(t)
+        order = t - 1
+        a = coeffs[:order].copy()
+        # On Z_t^* the exponent t-1 aliases to the constant (x^(t-1) = 1).
+        a[0] = (coeffs[0] + coeffs[order]) % t
+        dft = cyclic_ntt(a, t, g)  # dft[m] = P(g^m) for nonzero points
+        out = np.empty(t, dtype=np.int64)
+        out[0] = coeffs[0]
+        acc = 1
+        for m in range(order):
+            out[acc] = dft[m]
+            acc = acc * g % t
+        return out
+    nz = np.nonzero(coeffs)[0]
+    deg = int(nz[-1]) if nz.size else 0
+    x = np.arange(t, dtype=np.int64)
+    out = np.zeros(t, dtype=np.int64)
+    for c in coeffs[deg::-1]:
+        out = (out * x + int(c)) % t
+    return out
 
 
 def evaluate_poly_plain(coeffs: np.ndarray, x: np.ndarray, t: int) -> np.ndarray:

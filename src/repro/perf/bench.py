@@ -346,14 +346,15 @@ BENCH_TUNE_FILENAME = "BENCH_tune.json"
 TUNE_SUBJECTS = ("mnist_cnn", "resnet20_block")
 
 
-def _measured_run(program, plan, x_q, seed: int, backend: str):
+def _measured_run(program, plan, x_q, seed: int, backend: str,
+                  params: FheParams = TEST_LOOP):
     """One real-ciphertext run of ``plan``; returns (output, mod_mul, wall_s)."""
     counting = CountingBackend(backend)
     perf = PerfRecorder()
-    pipe = AthenaPipeline(TEST_LOOP, seed=seed, perf=perf)
+    pipe = AthenaPipeline(params, seed=seed, perf=perf)
     with use_backend(counting):
         out = pipe.run_program(program, x_q, plan=plan)
-    measured = executed_trace(counting, TEST_LOOP).totals()
+    measured = executed_trace(counting, params).totals()
     return out, float(measured.mod_mul), perf.summary()["wall_s"]
 
 
@@ -450,6 +451,248 @@ def run_tune_bench(
         bench_tune(subject, chunk=chunk, seed=seed, backend=backend)
         for subject in TUNE_SUBJECTS
     ]
+    if out is not None:
+        Path(out).write_text(json.dumps(records, indent=2) + "\n")
+    return records
+
+
+# -- mixed-precision bench ------------------------------------------------------
+
+#: Default output filename of :func:`run_mp_bench` (CI uploads it).
+BENCH_MP_FILENAME = "BENCH_mp.json"
+
+#: Decode-noise allowance for the measured TEST_FBS runs. The micro ring
+#: (n=32) leaves the final un-refreshed linear layer a few tens of units of
+#: LWE decode noise either way (the uniform baseline shows it too); a wrong
+#: LUT table would miss by ~t/2 ≈ 128, far above this. Exact semantic
+#: correctness is asserted separately by :func:`_check_lut_tables`.
+_MP_NOISE_TOL = 64
+
+
+def _check_lut_tables(program, t: int) -> None:
+    """Every built FBS table must equal its exact semantics on its domain.
+
+    Full-domain LUTs are checked over all of centered Z_t; restricted
+    (``lut_range``) LUTs over their certified MAC window [-r, r] — outside
+    it the degree <= 2r interpolant is free, by design. This is the
+    noise-free correctness gate for the mixed-precision table machinery.
+    """
+    for step in program.lut_steps():
+        spec = step.lut
+        lut = spec.build(program.config, t)
+        r = spec.lut_range
+        if r and 2 * r + 1 < t:
+            pts = np.arange(-r, r + 1, dtype=np.int64)
+        else:
+            pts = np.arange(-(t // 2), t - t // 2, dtype=np.int64)
+        exact = spec.apply_exact(pts, program.config)
+        got = lut.values[pts % t]
+        if not np.array_equal(got % t, exact % t):
+            raise RuntimeError(
+                f"LUT table {step.name!r} disagrees with exact semantics "
+                f"on its domain (lut_range={r})"
+            )
+
+
+def _mp_point(model, x, y, config, budget: float, mode: str, seed: int,
+              backend: str, params: FheParams) -> tuple[dict, "object"]:
+    """Allocate at one budget, compile, and measure on real ciphertexts."""
+    from repro.core.plan import compile_program, program_fingerprint
+    from repro.fhe.serialize import dump_plan, load_plan
+    from repro.quant.mp import allocate_bits
+
+    res = allocate_bits(model, x, y, config, params=params, budget=budget,
+                        mode=mode)
+    qm = res.model
+    program = lower(qm, params)
+    _check_lut_tables(program, params.t)
+    plan = compile_program(program, params, tuning=res.tuning.tuning)
+    x_q = qm.quantize_input(x[0])
+    out, mm, wall = _measured_run(program, plan, x_q, seed, backend,
+                                  params=params)
+    ref = qm.forward_int(x_q[None])[0].reshape(-1)
+    err = int(np.abs(out - ref).max())
+    if err > _MP_NOISE_TOL:
+        raise RuntimeError(
+            f"mp plan (budget {budget}) off plaintext reference by {err}"
+        )
+    raw = dump_plan(plan)
+    round_trip = dump_plan(load_plan(raw, params)) == raw
+    point = {
+        "budget": budget,
+        "mode": mode,
+        "mp": res.mp.tag(),
+        "bias_correct": res.bias_correct,
+        "accuracy": res.accuracy,
+        "accuracy_drop": res.drop,
+        "predicted_mod_muls": res.cost,
+        "measured_mod_muls": mm,
+        "wall_s": round(wall, 6),
+        "max_abs_error": err,
+        "fingerprint": program_fingerprint(program, res.tuning.tuning),
+        "round_trip_identical": round_trip,
+    }
+    return point, res
+
+
+def bench_mp(
+    budgets: tuple[float, ...] = (0.0, 0.02, 0.05),
+    headline_budget: float = 0.02,
+    mode: str = "greedy",
+    seed: int = 41,
+    backend: str = "batched",
+) -> dict:
+    """Mixed-precision allocator bench on the TEST_FBS mnist_cnn subject.
+
+    Measures the uniform-bits baseline once (autotuned, full-domain LUTs)
+    and one allocated configuration per accuracy-drop budget, each through
+    the real-ciphertext pipeline under a :class:`CountingBackend` — the
+    ``points`` list is the accuracy-vs-cost Pareto front. Hard guarantees
+    asserted here (CI re-checks them on the artifact):
+
+    * the headline-budget config's *measured* mod_muls and wall time beat
+      the uniform baseline's, at calibration accuracy within the budget;
+    * every allocated plan round-trips through dump_plan/load_plan
+      bit-identically;
+    * every allocated program's fingerprint differs from the baseline's
+      (plan caches and the serve layer key on it).
+    """
+    from repro.core.plan import compile_program, program_fingerprint
+    from repro.core.tune import tune_program
+    from repro.fhe.params import TEST_FBS
+    from repro.quant.mp import mp_micro_subject
+    from repro.quant.quantize import quantize_model
+
+    model, x, y, config = mp_micro_subject()
+    base_qm = quantize_model(model, x, config, name="mnist_cnn_mp")
+    base_acc = base_qm.accuracy(x, y)
+    base_program = lower(base_qm, TEST_FBS)
+    _check_lut_tables(base_program, TEST_FBS.t)
+    base_tuning = tune_program(base_program, TEST_FBS)
+    base_plan = compile_program(base_program, TEST_FBS,
+                                tuning=base_tuning.tuning)
+    x_q = base_qm.quantize_input(x[0])
+    out, mm_base, wall_base = _measured_run(base_program, base_plan, x_q,
+                                            seed, backend, params=TEST_FBS)
+    ref = base_qm.forward_int(x_q[None])[0].reshape(-1)
+    err_base = int(np.abs(out - ref).max())
+    base_fp = program_fingerprint(base_program, base_tuning.tuning)
+
+    points = []
+    for budget in budgets:
+        point, _ = _mp_point(model, x, y, config, budget, mode, seed,
+                             backend, TEST_FBS)
+        if not point["round_trip_identical"]:
+            raise RuntimeError(
+                f"mp plan (budget {budget}) does not round-trip bit-identically"
+            )
+        if point["fingerprint"] == base_fp:
+            raise RuntimeError(
+                f"mp fingerprint (budget {budget}) collides with uniform's"
+            )
+        points.append(point)
+
+    head = min(points, key=lambda p: abs(p["budget"] - headline_budget))
+    if head["measured_mod_muls"] >= mm_base:
+        raise RuntimeError(
+            f"allocated config does not beat uniform measured mod_muls "
+            f"({head['measured_mod_muls']} >= {mm_base})"
+        )
+    if head["wall_s"] >= wall_base:
+        raise RuntimeError(
+            f"allocated config does not beat uniform wall time "
+            f"({head['wall_s']} >= {wall_base})"
+        )
+    if head["accuracy_drop"] > head["budget"] + 1e-12:
+        raise RuntimeError(
+            f"allocated config exceeds the accuracy-drop budget "
+            f"({head['accuracy_drop']} > {head['budget']})"
+        )
+    return {
+        "bench": "mnist_cnn",
+        "model": "mnist_cnn_mp",
+        "params": _params_info(TEST_FBS, backend),
+        "config": config.label,
+        "mode": mode,
+        "headline_budget": head["budget"],
+        "baseline_accuracy": base_acc,
+        "baseline_predicted_mod_muls": base_tuning.tuned_cost,
+        "baseline_measured_mod_muls": mm_base,
+        "baseline_wall_s": round(wall_base, 6),
+        "baseline_max_abs_error": err_base,
+        "headline": head,
+        "points": points,
+    }
+
+
+def bench_mp_zoo(
+    subject: str = "mnist_cnn",
+    budgets: tuple[float, ...] = (0.0, 0.05),
+    mode: str = "greedy",
+    seed: int = 0,
+) -> dict:
+    """Predicted-only Pareto points for a zoo model at ATHENA parameters.
+
+    The full-size models are too large for a measured CI run, but the cost
+    model — the same one the measured micro bench validates — scores them
+    directly: per budget, the allocator's predicted tuned mod_muls and the
+    resulting calibration accuracy.
+    """
+    from repro.eval.zoo import get_benchmark
+    from repro.fhe.params import ATHENA
+    from repro.quant.mp import allocate_bits
+    from repro.quant.quantize import LayerQuantConfig, QuantConfig
+
+    entry = get_benchmark(subject, seed=seed)
+    calib_x = entry.data["x_train"][:96]
+    calib_y = entry.data["y_train"][:96]
+    config = QuantConfig(7, 7)
+    candidates = [LayerQuantConfig(b, b) for b in (4, 5, 6)]
+    points = []
+    baseline = None
+    for budget in budgets:
+        res = allocate_bits(entry.float_model, calib_x, calib_y, config,
+                            params=ATHENA, candidates=candidates,
+                            budget=budget, mode=mode, name=subject)
+        baseline = {
+            "accuracy": res.baseline_accuracy,
+            "predicted_mod_muls": res.baseline_cost,
+        }
+        points.append({
+            "budget": budget,
+            "mp": res.mp.tag(),
+            "accuracy": res.accuracy,
+            "accuracy_drop": res.drop,
+            "predicted_mod_muls": res.cost,
+        })
+    return {
+        "bench": f"{subject}_zoo",
+        "model": subject,
+        "params": _params_info(ATHENA, "predicted"),
+        "config": config.label,
+        "mode": mode,
+        "baseline": baseline,
+        "points": points,
+    }
+
+
+def run_mp_bench(
+    out: str | Path | None = BENCH_MP_FILENAME,
+    budgets: tuple[float, ...] = (0.0, 0.02, 0.05),
+    mode: str = "greedy",
+    seed: int = 41,
+    backend: str = "batched",
+    include_zoo: bool = True,
+) -> list[dict]:
+    """Mixed-precision bench; writes ``out`` unless None.
+
+    Record 0 is the measured TEST_FBS micro subject (the CI gate's
+    target); with ``include_zoo`` a predicted-only record per zoo subject
+    follows.
+    """
+    records = [bench_mp(budgets=budgets, mode=mode, seed=seed, backend=backend)]
+    if include_zoo:
+        records.append(bench_mp_zoo(mode=mode))
     if out is not None:
         Path(out).write_text(json.dumps(records, indent=2) + "\n")
     return records

@@ -1,7 +1,15 @@
 """Quantized CNN framework: float training engine, PTQ, integer IR."""
 
 from repro.quant.models import build, input_shape
+from repro.quant.mp import (
+    AllocationResult,
+    MpConfig,
+    allocate_bits,
+    assign_lut_ranges,
+    mp_micro_subject,
+)
 from repro.quant.quantize import (
+    LayerQuantConfig,
     QConv,
     QLinear,
     QResidual,
@@ -12,13 +20,19 @@ from repro.quant.quantize import (
 )
 
 __all__ = [
+    "AllocationResult",
+    "LayerQuantConfig",
+    "MpConfig",
     "QConv",
     "QLinear",
     "QResidual",
     "QuantConfig",
     "QuantizedModel",
+    "allocate_bits",
+    "assign_lut_ranges",
     "build",
     "fold_batchnorm",
     "input_shape",
+    "mp_micro_subject",
     "quantize_model",
 ]

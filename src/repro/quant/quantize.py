@@ -21,11 +21,12 @@ counts at least two bootstraps per residual block.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import QuantizationError
+from repro.errors import ModulusOverflow, QuantizationError
 from repro.quant import nn
 from repro.quant.nn import (
     AvgPool2d,
@@ -85,6 +86,40 @@ class QuantConfig:
         return f"w{self.w_bits}a{self.a_bits}"
 
 
+@dataclass(frozen=True)
+class LayerQuantConfig:
+    """Per-layer bit-width override (mixed-precision PTQ, CalibTIP-style).
+
+    A model-global :class:`QuantConfig` fixes one ``(w_bits, a_bits)``
+    pair; the mixed-precision allocator (:mod:`repro.quant.mp`) assigns
+    one of these per MAC layer instead. The layer's weights quantize to
+    ``w_max`` and its remap clips to ``a_max``, so the layer's MAC range
+    — and with it the restricted LUT domain and the interpolated FBS
+    degree — shrinks with the bits.
+    """
+
+    w_bits: int
+    a_bits: int
+
+    def __post_init__(self) -> None:
+        if self.w_bits < 2 or self.a_bits < 2:
+            raise QuantizationError(
+                f"per-layer bit-widths must be >= 2, got {self.label}"
+            )
+
+    @property
+    def w_max(self) -> int:
+        return (1 << (self.w_bits - 1)) - 1
+
+    @property
+    def a_max(self) -> int:
+        return (1 << (self.a_bits - 1)) - 1
+
+    @property
+    def label(self) -> str:
+        return f"w{self.w_bits}a{self.a_bits}"
+
+
 # --------------------------------------------------------------------------
 # Quantized IR
 # --------------------------------------------------------------------------
@@ -117,6 +152,13 @@ class QConv:
     #: so execution and encoding are group-agnostic; the count is kept for
     #: provenance and folded into ``program_fingerprint``.
     groups: int = 1
+    #: Mixed-precision override this layer was quantized under (or None
+    #: for the model-global config). Drives the remap clip bound.
+    bits: LayerQuantConfig | None = None
+    #: Restricted LUT domain radius: the layer's MAC provably stays within
+    #: [-lut_range, lut_range], so the FBS table only needs to agree with
+    #: the remap there (interpolated degree <= 2r instead of t-1).
+    lut_range: int | None = None
 
     @property
     def remap_multiplier(self) -> float:
@@ -128,7 +170,7 @@ class QConv:
         For relu/identity this reduces to the multiplier form; the general
         float-domain form admits any activation in :data:`ACTIVATIONS`.
         """
-        bound = self.out_max or a_max
+        bound = self.out_max or (self.bits.a_max if self.bits else a_max)
         z = ACTIVATIONS[self.activation](mac.astype(np.float64) * self.in_scale * self.w_scale)
         return np.clip(np.rint(z / self.out_scale), -bound, bound).astype(np.int64)
 
@@ -145,13 +187,15 @@ class QLinear:
     out_features: int
     mac_peak: int = 0
     out_max: int | None = None
+    bits: LayerQuantConfig | None = None
+    lut_range: int | None = None
 
     @property
     def remap_multiplier(self) -> float:
         return self.in_scale * self.w_scale / self.out_scale
 
     def remap(self, mac: np.ndarray, a_max: int) -> np.ndarray:
-        bound = self.out_max or a_max
+        bound = self.out_max or (self.bits.a_max if self.bits else a_max)
         z = ACTIVATIONS[self.activation](mac.astype(np.float64) * self.in_scale * self.w_scale)
         return np.clip(np.rint(z / self.out_scale), -bound, bound).astype(np.int64)
 
@@ -169,12 +213,14 @@ class QAvgPool:
     kernel: int
     stride: int
     mac_peak: int = 0
+    lut_range: int | None = None
 
 
 @dataclass
 class QGlobalAvgPool:
     spatial: int  # H*W being averaged
     mac_peak: int = 0
+    lut_range: int | None = None
 
 
 @dataclass
@@ -207,6 +253,7 @@ class QResidual:
     out_scale: float
     skip_alpha: int = 1  # identity-skip integer rescale (1 for projections)
     mac_peak: int = 0  # peak of the post-add sum (also a LUT input)
+    lut_range: int | None = None
 
     @property
     def remap_multiplier(self) -> float:
@@ -266,9 +313,37 @@ class QuantizedModel:
     def max_mac(self) -> int:
         return max((l.mac_peak for l in self.mac_layers()), default=0)
 
+    def validate_t(self) -> None:
+        """Raise :class:`ModulusOverflow` naming the worst offending layer.
+
+        ``mac_peak`` is a calibration observable — run ``forward_int`` (or
+        ``accuracy``) over representative data first, otherwise all peaks
+        are zero and validation trivially passes.
+        """
+        half = self.config.t // 2
+        worst = None
+        for idx, layer in enumerate(self.mac_layers()):
+            peak = int(getattr(layer, "mac_peak", 0))
+            if peak > half and (worst is None or peak > worst[1]):
+                worst = (idx, peak, layer)
+        if worst is not None:
+            idx, peak, layer = worst
+            raise ModulusOverflow(
+                f"{type(layer).__name__.lower()}[{idx}] MAC peak {peak} "
+                f"exceeds t//2 = {half} (t = {self.config.t}) by {peak - half}",
+                layer=f"{type(layer).__name__.lower()}[{idx}]",
+                mac_peak=peak,
+                t=self.config.t,
+                excess=peak - half,
+            )
+
     def check_t(self) -> bool:
         """True when every observed MAC fits the plaintext modulus."""
-        return self.max_mac() <= self.config.t // 2
+        try:
+            self.validate_t()
+        except ModulusOverflow:
+            return False
+        return True
 
 
 # --------------------------------------------------------------------------
@@ -294,6 +369,55 @@ def _wrap_t(mac: np.ndarray, t: int) -> np.ndarray:
     return (mac + t // 2) % t - t // 2
 
 
+def _ir_forward_int(ir: list, x_q: np.ndarray, config: QuantConfig) -> np.ndarray:
+    """Integer forward over a raw IR list, mirroring PlainIntExecutor.
+
+    Used by the calibration tracker to replay residual branches after
+    their tails are retargeted (and by bias correction to recompute branch
+    outputs): semantics — including where ``_wrap_t`` is and is not applied
+    — match ``repro.core.program.PlainIntExecutor`` node for node.
+    """
+    t, a_max = config.t, config.a_max
+    for node in ir:
+        if isinstance(node, QConv):
+            mac = _int_conv(x_q, node)
+            node.mac_peak = max(node.mac_peak, int(np.abs(mac).max()))
+            x_q = node.remap(_wrap_t(mac, t), a_max)
+        elif isinstance(node, QLinear):
+            mac = x_q @ node.weight.T + node.bias
+            node.mac_peak = max(node.mac_peak, int(np.abs(mac).max()))
+            x_q = node.remap(_wrap_t(mac, t), a_max)
+        elif isinstance(node, QMaxPool):
+            cols, oh, ow = nn.im2col(x_q, node.kernel, node.kernel, node.stride, 0)
+            b, c = x_q.shape[0], x_q.shape[1]
+            x_q = (
+                cols.reshape(b, oh, ow, c, node.kernel**2)
+                .max(axis=-1)
+                .transpose(0, 3, 1, 2)
+            )
+        elif isinstance(node, QAvgPool):
+            cols, oh, ow = nn.im2col(x_q, node.kernel, node.kernel, node.stride, 0)
+            b, c = x_q.shape[0], x_q.shape[1]
+            total = cols.reshape(b, oh, ow, c, node.kernel**2).sum(axis=-1)
+            node.mac_peak = max(node.mac_peak, int(np.abs(total).max()))
+            x_q = np.rint(total / node.kernel**2).astype(np.int64).transpose(0, 3, 1, 2)
+        elif isinstance(node, QGlobalAvgPool):
+            total = x_q.sum(axis=(2, 3))
+            node.mac_peak = max(node.mac_peak, int(np.abs(total).max()))
+            x_q = np.rint(total / node.spatial).astype(np.int64)
+        elif isinstance(node, QFlatten):
+            x_q = x_q.reshape(x_q.shape[0], -1)
+        elif isinstance(node, QResidual):
+            main = _ir_forward_int(node.body, x_q, config)
+            skip = _ir_forward_int(node.shortcut, x_q, config) if node.shortcut else x_q
+            total = main + skip * node.skip_alpha
+            node.mac_peak = max(node.mac_peak, int(np.abs(total).max()))
+            x_q = node.remap(_wrap_t(total, t), a_max)
+        else:
+            raise QuantizationError(f"cannot execute {type(node).__name__}")
+    return x_q
+
+
 # --------------------------------------------------------------------------
 # BatchNorm folding
 # --------------------------------------------------------------------------
@@ -316,7 +440,7 @@ def fold_batchnorm(model: Sequential) -> Sequential:
                 shortcut = (
                     Sequential(*fold_list(layer.shortcut.layers))
                     if isinstance(layer.shortcut, Sequential)
-                    else layer.shortcut
+                    else copy.deepcopy(layer.shortcut)
                 )
                 out.append(Residual(body, shortcut))
                 i += 1
@@ -324,7 +448,7 @@ def fold_batchnorm(model: Sequential) -> Sequential:
                 out.append(Sequential(*fold_list(layer.layers)))
                 i += 1
             else:
-                out.append(layer)
+                out.append(copy.deepcopy(layer))
                 i += 1
         return out
 
@@ -361,15 +485,58 @@ def quantize_model(
     calib_x: np.ndarray,
     config: QuantConfig,
     name: str = "model",
+    mp=None,
+    bias_correct: bool = False,
+    lut_margin: int | None = None,
 ) -> QuantizedModel:
-    """Fold BN, calibrate activation scales on ``calib_x``, emit integer IR."""
+    """Fold BN, calibrate activation scales on ``calib_x``, emit integer IR.
+
+    Mixed-precision extensions (all default-off; with none requested the
+    legacy single-config path is unchanged):
+
+    - ``mp``: an :class:`repro.quant.mp.MpConfig` (any mapping with
+      ``.get`` works) assigning :class:`LayerQuantConfig` overrides by
+      layer name — ``conv0``, ``linear1``, ... numbered over MAC layers
+      in conversion order, residual branches included.
+    - ``bias_correct``: CalibTIP-style bias correction — after quantizing
+      each conv/linear, shift its integer bias by the per-channel mean
+      discrepancy between the float pre-activation and the dequantized
+      integer MAC observed on ``calib_x``.
+    - ``lut_margin``: record each LUT-bearing node's calibrated MAC peak
+      plus this safety margin as ``lut_range``, enabling restricted-domain
+      LUT interpolation downstream (``repro.fhe.fbs.interpolate_range``).
+
+    Any of the three switches the converter into *tracking* mode: the
+    calibration batch is additionally threaded through the integer IR as
+    it is built (mirroring ``PlainIntExecutor`` node for node), so MAC
+    peaks and bias corrections reflect the quantized network the FHE
+    pipeline will actually run.
+    """
     folded = fold_batchnorm(model)
     a_max = config.a_max
     input_scale = _act_scale(calib_x, a_max)
     in_shape = tuple(calib_x.shape[1:])
+    track = mp is not None or bias_correct or lut_margin is not None
+    mac_nodes: list = []  # every LUT-bearing node, conversion order
+    mac_index = [0]  # shared conv/linear naming counter (conversion order)
 
-    def convert(layers: list, x_f: np.ndarray, in_scale: float):
-        """Returns (ir_list, out_float, out_scale)."""
+    def _layer_cfg(kind: str):
+        lname = f"{kind}{mac_index[0]}"
+        mac_index[0] += 1
+        return mp.get(lname) if mp is not None else None
+
+    def _correct_bias(node, z: np.ndarray, mac: np.ndarray, axes) -> np.ndarray:
+        # CalibTIP bias correction: the per-channel mean of the float
+        # pre-activation minus the dequantized integer MAC is a systematic
+        # quantization bias; fold it into the integer bias exactly.
+        s = node.in_scale * node.w_scale
+        delta = z.mean(axis=axes) - mac.mean(axis=axes) * s
+        shift = np.rint(delta / s).astype(np.int64)
+        node.bias = node.bias + shift
+        return shift
+
+    def convert(layers: list, x_f: np.ndarray, in_scale: float, x_q=None):
+        """Returns (ir_list, out_float, out_scale, out_q)."""
         ir: list = []
         i = 0
         scale = in_scale
@@ -380,8 +547,11 @@ def quantize_model(
                 act = _merged_activation(nxt) or "identity"
                 z = layer.forward(x_f)
                 a = ACTIVATIONS[act](z)
-                out_scale = _act_scale(a, a_max)
-                w_q, w_scale = _quantize_weights(layer.weight, config.w_max)
+                lcfg = _layer_cfg("conv")
+                out_scale = _act_scale(a, lcfg.a_max if lcfg else a_max)
+                w_q, w_scale = _quantize_weights(
+                    layer.weight, lcfg.w_max if lcfg else config.w_max
+                )
                 # Grouped convs quantize the grouped tensor (zeros in the
                 # dense expansion quantize to exact zeros, so w_scale is
                 # identical either way) and store the dense equivalent —
@@ -389,63 +559,96 @@ def quantize_model(
                 w_q = nn.expand_grouped_weight(w_q, getattr(layer, "groups", 1))
                 bias = layer.bias if layer.bias is not None else np.zeros(layer.out_ch)
                 bias_q = np.rint(bias / (scale * w_scale)).astype(np.int64)
-                ir.append(
-                    QConv(
-                        weight=w_q,
-                        groups=getattr(layer, "groups", 1),
-                        bias=bias_q,
-                        stride=layer.stride,
-                        pad=layer.pad,
-                        in_scale=scale,
-                        w_scale=w_scale,
-                        out_scale=out_scale,
-                        activation=act,
-                        in_shape=tuple(x_f.shape[1:]),
-                        out_shape=tuple(a.shape[1:]),
-                    )
+                node = QConv(
+                    weight=w_q,
+                    groups=getattr(layer, "groups", 1),
+                    bias=bias_q,
+                    stride=layer.stride,
+                    pad=layer.pad,
+                    in_scale=scale,
+                    w_scale=w_scale,
+                    out_scale=out_scale,
+                    activation=act,
+                    in_shape=tuple(x_f.shape[1:]),
+                    out_shape=tuple(a.shape[1:]),
+                    bits=lcfg,
                 )
+                ir.append(node)
+                mac_nodes.append(node)
+                if x_q is not None:
+                    mac = _int_conv(x_q, node)
+                    if bias_correct:
+                        shift = _correct_bias(node, z, mac, (0, 2, 3))
+                        mac = mac + shift[None, :, None, None]
+                    node.mac_peak = max(node.mac_peak, int(np.abs(mac).max()))
+                    x_q = node.remap(_wrap_t(mac, config.t), a_max)
                 x_f, scale = a, out_scale
                 i += 2 if act != "identity" else 1
             elif isinstance(layer, Linear):
                 act = _merged_activation(nxt) or "identity"
                 z = layer.forward(x_f)
                 a = ACTIVATIONS[act](z)
-                out_scale = _act_scale(a, a_max)
-                w_q, w_scale = _quantize_weights(layer.weight, config.w_max)
-                bias_q = np.rint(layer.bias / (scale * w_scale)).astype(np.int64)
-                ir.append(
-                    QLinear(
-                        weight=w_q,
-                        bias=bias_q,
-                        in_scale=scale,
-                        w_scale=w_scale,
-                        out_scale=out_scale,
-                        activation=act,
-                        in_features=layer.weight.shape[1],
-                        out_features=layer.weight.shape[0],
-                    )
+                lcfg = _layer_cfg("linear")
+                out_scale = _act_scale(a, lcfg.a_max if lcfg else a_max)
+                w_q, w_scale = _quantize_weights(
+                    layer.weight, lcfg.w_max if lcfg else config.w_max
                 )
+                bias_q = np.rint(layer.bias / (scale * w_scale)).astype(np.int64)
+                node = QLinear(
+                    weight=w_q,
+                    bias=bias_q,
+                    in_scale=scale,
+                    w_scale=w_scale,
+                    out_scale=out_scale,
+                    activation=act,
+                    in_features=layer.weight.shape[1],
+                    out_features=layer.weight.shape[0],
+                    bits=lcfg,
+                )
+                ir.append(node)
+                mac_nodes.append(node)
+                if x_q is not None:
+                    mac = x_q @ node.weight.T + node.bias
+                    if bias_correct:
+                        shift = _correct_bias(node, z, mac, 0)
+                        mac = mac + shift[None, :]
+                    node.mac_peak = max(node.mac_peak, int(np.abs(mac).max()))
+                    x_q = node.remap(_wrap_t(mac, config.t), a_max)
                 x_f, scale = a, out_scale
                 i += 2 if act != "identity" else 1
             elif isinstance(layer, MaxPool2d):
-                ir.append(QMaxPool(layer.kernel, layer.stride))
+                node = QMaxPool(layer.kernel, layer.stride)
+                ir.append(node)
                 x_f = layer.forward(x_f)
+                if x_q is not None:
+                    x_q = _ir_forward_int([node], x_q, config)
                 i += 1
             elif isinstance(layer, AvgPool2d):
-                ir.append(QAvgPool(layer.kernel, layer.stride))
+                node = QAvgPool(layer.kernel, layer.stride)
+                ir.append(node)
+                mac_nodes.append(node)
                 x_f = layer.forward(x_f)
+                if x_q is not None:
+                    x_q = _ir_forward_int([node], x_q, config)
                 i += 1
             elif isinstance(layer, GlobalAvgPool):
-                ir.append(QGlobalAvgPool(spatial=x_f.shape[2] * x_f.shape[3]))
+                node = QGlobalAvgPool(spatial=x_f.shape[2] * x_f.shape[3])
+                ir.append(node)
+                mac_nodes.append(node)
                 x_f = layer.forward(x_f)
+                if x_q is not None:
+                    x_q = _ir_forward_int([node], x_q, config)
                 i += 1
             elif isinstance(layer, Flatten):
                 ir.append(QFlatten())
                 x_f = layer.forward(x_f)
+                if x_q is not None:
+                    x_q = x_q.reshape(x_q.shape[0], -1)
                 i += 1
             elif isinstance(layer, Residual):
-                node, x_f, scale = _convert_residual(layer, x_f, scale)
+                node, x_f, scale, x_q = _convert_residual(layer, x_f, scale, x_q)
                 ir.append(node)
+                mac_nodes.append(node)
                 i += 1
             elif _merged_activation(layer):
                 raise QuantizationError(
@@ -453,9 +656,9 @@ def quantize_model(
                 )
             else:
                 raise QuantizationError(f"cannot quantize {type(layer).__name__}")
-        return ir, x_f, scale
+        return ir, x_f, scale, x_q
 
-    def _convert_residual(block: Residual, x_f: np.ndarray, in_scale: float):
+    def _convert_residual(block: Residual, x_f: np.ndarray, in_scale: float, x_q=None):
         # Both branches meet at a shared *wide* scale (see QResidual).
         main_f = block.body.forward(x_f)
         skip_f = block.shortcut.forward(x_f) if block.shortcut else x_f
@@ -474,11 +677,11 @@ def quantize_model(
             add_scale = in_scale / skip_alpha
         else:
             add_scale = target_scale
-        body_ir, _, _ = convert(block.body.layers, x_f, in_scale)
+        body_ir, _, _, _ = convert(block.body.layers, x_f, in_scale, x_q)
         _retarget_tail(body_ir, add_scale)
         shortcut_ir = None
         if block.shortcut:
-            shortcut_ir, _, _ = convert(block.shortcut.layers, x_f, in_scale)
+            shortcut_ir, _, _, _ = convert(block.shortcut.layers, x_f, in_scale, x_q)
             _retarget_tail(shortcut_ir, add_scale)
         out_scale = _act_scale(out_f, a_max)
         node = QResidual(
@@ -488,7 +691,18 @@ def quantize_model(
             out_scale=out_scale,
             skip_alpha=skip_alpha,
         )
-        return node, out_f, out_scale
+        out_q = None
+        if x_q is not None:
+            # Replay both branches: retargeting rewrote the tails' remap
+            # (out_scale/out_max), so the outputs threaded during convert
+            # are stale. Bias corrections and tail MAC peaks stay valid —
+            # the retarget only changes what happens *after* the MAC.
+            main_q = _ir_forward_int(body_ir, x_q, config)
+            skip_q = _ir_forward_int(shortcut_ir, x_q, config) if shortcut_ir else x_q
+            total = main_q + skip_q * skip_alpha
+            node.mac_peak = max(node.mac_peak, int(np.abs(total).max()))
+            out_q = node.remap(_wrap_t(total, config.t), a_max)
+        return node, out_f, out_scale, out_q
 
     def _retarget_tail(ir: list, add_scale: float) -> None:
         tail = ir[-1]
@@ -499,14 +713,32 @@ def quantize_model(
         tail.out_scale = add_scale
         tail.out_max = RESIDUAL_WIDE_MAX
 
-    ir, _, _ = convert(folded.layers, calib_x.astype(np.float64), input_scale)
+    x_q0 = None
+    if track:
+        x_q0 = np.clip(
+            np.rint(calib_x.astype(np.float64) / input_scale), -a_max, a_max
+        ).astype(np.int64)
+    ir, _, _, _ = convert(folded.layers, calib_x.astype(np.float64), input_scale, x_q0)
     # The classifier head keeps wide precision: softmax's exp LUT operates
     # on the logits, and at int-a granularity the e_ms perturbation would
     # swing exp() by whole quantization steps. Argmax is scale-invariant,
-    # so plain accuracy is unaffected.
+    # so plain accuracy is unaffected. The width is clamped to t//4 so the
+    # logits stay inside the plaintext modulus at small-t test parameters.
     tail = ir[-1] if ir else None
     if isinstance(tail, QLinear) and tail.activation == "identity":
-        wide = RESIDUAL_WIDE_MAX // 4
-        tail.out_scale = tail.out_scale * a_max / wide
+        wide = min(RESIDUAL_WIDE_MAX // 4, config.t // 4)
+        eff_a = tail.bits.a_max if tail.bits else a_max
+        tail.out_scale = tail.out_scale * eff_a / wide
         tail.out_max = wide
-    return QuantizedModel(ir, config, input_scale, in_shape, name=name)
+    qmodel = QuantizedModel(ir, config, input_scale, in_shape, name=name)
+    if lut_margin is not None:
+        # The MAC peaks were calibrated above; freeze the restricted LUT
+        # domains before the first lowering so LutSpec captures them.
+        for node in mac_nodes:
+            peak = int(getattr(node, "mac_peak", 0))
+            if peak <= 0:
+                continue
+            r = peak + int(lut_margin)
+            if 2 * r + 1 < config.t:
+                node.lut_range = r
+    return qmodel

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import synthetic_cifar, synthetic_digits
 from repro.quant.models import build, input_shape, lenet, mnist_cnn, resnet20
@@ -203,3 +205,121 @@ class TestModelBuilders:
 
         # 19 backbone convolutions + 2 projection shortcuts
         assert count(model.layers) == 21
+
+
+class TestFoldWithoutBatchNorm:
+    def test_conv_only_model_unchanged(self, rng):
+        """Folding is the identity on models with no BN layers."""
+        from repro.quant.nn import Flatten, Linear
+
+        seq = Sequential(
+            Conv2d(2, 3, 3, 1, 1, rng=rng), ReLU(), Flatten(), Linear(48, 4, rng=rng)
+        )
+        folded = fold_batchnorm(seq)
+        assert [type(l) for l in folded.layers] == [type(l) for l in seq.layers]
+        x = rng.normal(size=(5, 2, 4, 4))
+        assert np.array_equal(folded.forward(x), seq.forward(x))
+        # The copy shares no mutable layer state with the original.
+        folded.layers[0].weight[:] += 1.0
+        assert not np.allclose(folded.forward(x), seq.forward(x))
+
+    def test_residual_without_bn(self, rng):
+        from repro.quant.nn import Residual
+
+        body = Sequential(Conv2d(2, 2, 3, 1, 1, bias=True, rng=rng), ReLU())
+        model = Sequential(Residual(body, None))
+        folded = fold_batchnorm(model)
+        x = rng.normal(size=(3, 2, 5, 5))
+        assert np.allclose(folded.forward(x), model.forward(x))
+
+
+class TestRemapMultiplierRounding:
+    def _linear(self, out_scale, bits=None, activation="identity"):
+        from repro.quant.quantize import LayerQuantConfig, QLinear
+
+        return QLinear(
+            weight=np.eye(1, dtype=np.int64),
+            bias=np.zeros(1, dtype=np.int64),
+            in_scale=0.5,
+            w_scale=0.25,
+            out_scale=out_scale,
+            activation=activation,
+            in_features=1,
+            out_features=1,
+            bits=LayerQuantConfig(*bits) if bits else None,
+        )
+
+    def test_two_bit_clips_to_unit_range(self):
+        # multiplier = 0.5*0.25/0.125 = 1: the remap is the identity before
+        # the clip, and a 2-bit activation clamps to {-1, 0, 1}.
+        lin = self._linear(out_scale=0.125, bits=(2, 2))
+        assert lin.remap_multiplier == pytest.approx(1.0)
+        mac = np.arange(-5, 6)
+        out = lin.remap(mac, a_max=63)  # per-layer bound must win over a_max
+        assert np.array_equal(out, np.clip(mac, -1, 1))
+
+    def test_ten_bit_preserves_exact_rounding(self):
+        # multiplier = 0.5: half-integer products round to even (np.rint),
+        # and the 10-bit bound (511) never clips in this range.
+        lin = self._linear(out_scale=0.25, bits=(10, 10))
+        assert lin.remap_multiplier == pytest.approx(0.5)
+        mac = np.arange(-7, 8)
+        out = lin.remap(mac, a_max=3)
+        assert np.array_equal(out, np.rint(mac * 0.5).astype(np.int64))
+        assert out.max() == 4  # exceeds the 3-bit model default: bits won
+        # Explicit half-even cases: 1.5 -> 2, 0.5 -> 0, -2.5 -> -2.
+        assert list(lin.remap(np.array([3, 1, -5]), a_max=3)) == [2, 0, -2]
+
+    def test_relu_composes_with_bits(self):
+        lin = self._linear(out_scale=0.125, bits=(2, 2), activation="relu")
+        out = lin.remap(np.arange(-5, 6), a_max=63)
+        assert out.min() == 0 and out.max() == 1
+
+
+class TestPerLayerBitsAgreement:
+    @pytest.fixture(scope="class")
+    def linear_subject(self):
+        from repro.quant.nn import Linear
+
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(96, 6))
+        y = rng.integers(0, 3, size=96)
+        model = Sequential(
+            Linear(6, 5, rng=rng), ReLU(), Linear(5, 3, rng=rng)
+        )
+        opt = Sgd(lr=0.05)
+        for _ in range(3):
+            train_epoch(model, x, y, opt, rng=rng)
+        return model, x, QuantConfig(6, 6, t=65537)
+
+    @given(
+        w0=st.integers(2, 6), a0=st.integers(2, 6),
+        w1=st.integers(2, 6), a1=st.integers(2, 6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_int_forward_matches_float_emulation(self, linear_subject,
+                                                 w0, a0, w1, a1):
+        """Integer inference (mod-t) equals unwrapped float64 emulation.
+
+        Under any per-layer bit assignment the tracked calibration must
+        choose scales that keep every MAC inside t//2, so the wrapped
+        integer pipeline and a float-domain replay of the same quantized
+        nodes agree exactly.
+        """
+        from repro.quant.mp import MpConfig
+        from repro.quant.quantize import LayerQuantConfig
+
+        model, x, config = linear_subject
+        mp = MpConfig.from_dict({
+            "linear0": LayerQuantConfig(w0, a0),
+            "linear1": LayerQuantConfig(w1, a1),
+        })
+        qm = quantize_model(model, x, config, name="m", mp=mp)
+        x_q = qm.quantize_input(x[:16])
+        got = qm.forward_int(x_q)
+
+        h = x_q.astype(np.float64)
+        for node in qm.layers:
+            mac = h @ node.weight.T.astype(np.float64) + node.bias
+            h = node.remap(mac, config.a_max).astype(np.float64)
+        assert np.array_equal(got, h.astype(np.int64))
