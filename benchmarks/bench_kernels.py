@@ -1,0 +1,53 @@
+"""Fused-kernel microbenchmarks: the ``repro bench --kernels`` harness
+under pytest.
+
+Thin wrapper over :func:`repro.perf.bench.run_kernel_bench` (the importable
+implementation behind the CLI flag) so the kernel microbenches run with the
+rest of the ``benchmarks/`` suite and leave a ``BENCH_kernels.json``
+artifact next to the other regenerated outputs.
+
+The hard performance gate — fused FBS phase time strictly below the
+unfused batched baseline on the end-to-end mnist_cnn pipeline — rides on
+:func:`repro.perf.bench.bench_mnist_cnn`'s ``fbs_unfused_s`` /
+``fbs_fused_speedup`` fields; the per-kernel records are informational
+(individual kernels can be noise-bound at smoke scale on a loaded CI
+machine, the end-to-end phase comparison is robust).
+"""
+
+import json
+
+from repro.perf.bench import (
+    KERNEL_BENCH_SCHEMA,
+    bench_mnist_cnn,
+    run_kernel_bench,
+)
+
+
+def test_bench_kernels(once, tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    records = once(run_kernel_bench, out=str(out), quick=True)
+    print("\n" + json.dumps(records, indent=2))
+    assert [r["bench"] for r in records] == [
+        "ntt_stack", "rotate_keyswitch", "giant_step_batch",
+    ]
+    for record in records:
+        assert all(key in record for key in KERNEL_BENCH_SCHEMA)
+        assert record["fused_s"] > 0
+        assert record["unfused_s"] > 0
+        assert record["speedup"] > 0
+    # The stacked giant-step pipeline amortizes D forward NTTs and the
+    # digit decomposition across the whole batch; it must not lose to the
+    # sequential per-pair path even at smoke scale.
+    giant = records[-1]
+    assert giant["speedup"] >= 1.0, giant
+
+
+def test_fused_fbs_phase_beats_unfused(once):
+    record = once(bench_mnist_cnn, compare_serial=False)
+    assert record["fbs_unfused_s"] > 0
+    fused_fbs = record["phase_s"].get("fbs", 0.0)
+    assert fused_fbs > 0
+    # The acceptance target is >= 2x; gate at a margin that survives a
+    # loaded CI machine while still catching a fusion regression.
+    assert record["fbs_fused_speedup"] >= 1.3, record["fbs_fused_speedup"]
+    assert fused_fbs < record["fbs_unfused_s"]

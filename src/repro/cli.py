@@ -396,7 +396,8 @@ def _infer_with_plan(args: argparse.Namespace) -> int:
         print("repro: error: plan was compiled for a different model",
               file=sys.stderr)
         return EXIT_FAILURE
-    session = InferenceSession(program, params, seed=args.seed, plan=plan)
+    session = InferenceSession(program, params, seed=args.seed, plan=plan,
+                               backend=args.backend)
     rng = np.random.default_rng(args.seed + 5)
     max_err = 0
     for _ in range(args.count):
@@ -425,8 +426,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             return EXIT_USAGE
         return _infer_with_plan(args)
 
+    from contextlib import nullcontext
+
     from repro.core.inference import SimulatedAthenaEngine
     from repro.eval.zoo import get_benchmark
+    from repro.fhe.backend import use_backend
     from repro.fhe.params import ATHENA
 
     entry = get_benchmark(args.model, seed=args.seed)
@@ -435,7 +439,9 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     x = entry.data["x_test"][: args.count]
     y = entry.data["y_test"][: args.count]
     plain = qm.accuracy(x, y)
-    cipher = engine.accuracy(x, y)
+    dispatch = use_backend(args.backend) if args.backend else nullcontext()
+    with dispatch:
+        cipher = engine.accuracy(x, y)
     text = (
         f"{args.model} ({args.mode}), {len(x)} images\n"
         f"  plain-quant accuracy : {plain * 100:.2f}%\n"
@@ -489,6 +495,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"  {r['bench']} [{r['params']['backend']}]: "
             f"wall {r['wall_s']:.3f}s, speedup vs serial {speedup:.2f}x"
         )
+        if r.get("fbs_fused_speedup") is not None:
+            lines.append(
+                f"    fbs phase: fused {r['phase_s'].get('fbs', 0):.3f}s vs "
+                f"unfused {r['fbs_unfused_s']:.3f}s "
+                f"({r['fbs_fused_speedup']:.2f}x)"
+            )
+    if args.kernels:
+        from repro.perf.bench import BENCH_KERNELS_FILENAME, run_kernel_bench
+
+        kernel_records = run_kernel_bench(quick=args.quick, seed=args.seed)
+        records = records + kernel_records
+        lines.append(f"wrote {BENCH_KERNELS_FILENAME}")
+        for r in kernel_records:
+            lines.append(
+                f"  {r['bench']}: fused {r['fused_s'] * 1e3:.2f}ms vs "
+                f"unfused {r['unfused_s'] * 1e3:.2f}ms ({r['speedup']:.2f}x)"
+            )
     text = "\n".join(lines) + "\n"
     if args.json:
         sys.stdout.write(json.dumps(records, indent=2) + "\n")
@@ -574,7 +597,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     service = AthenaService(
         tenants,
-        exec_config=ExecConfig(args.mode, args.workers),
+        exec_config=ExecConfig(args.mode, args.workers, backend=args.backend),
         queue_capacity=max(1, -(-args.requests // args.tenants)),
         transport_s=args.transport_ms / 1000.0,
         batching=not args.no_batching,
@@ -713,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", metavar="PATH", default=None,
                    help="run warm-session inference from a compiled plan "
                         "(mnist_cnn only; see 'repro compile')")
+    p.add_argument("--backend", default=None,
+                   choices=["batched", "batched-unfused", "serial", "counting"],
+                   help="op-dispatch backend (default: inherit REPRO_BACKEND, "
+                        "else batched)")
     p.set_defaults(func=_cmd_infer)
 
     p = sub.add_parser("compile", parents=[seed],
@@ -785,8 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the mixed-precision allocator bench instead "
                         "(BENCH_mp.json)")
     p.add_argument("--backend", default="batched",
-                   choices=["batched", "serial"],
-                   help="op-dispatch backend to measure (default: batched)")
+                   choices=["batched", "batched-unfused", "serial", "counting"],
+                   help="op-dispatch backend to measure (default: batched; "
+                        "the flag beats REPRO_BACKEND, which beats the "
+                        "built-in batched default)")
+    p.add_argument("--kernels", action="store_true",
+                   help="also run the fused-kernel microbenches and write "
+                        "BENCH_kernels.json")
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="also write the executed-op trace JSON to PATH")
     p.set_defaults(func=_cmd_bench, seed=41)
@@ -825,6 +857,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shared-keys", action="store_true",
                    help="give every tenant the same keygen seed (one key "
                         "domain: enables cross-tenant batching)")
+    p.add_argument("--backend", default=None,
+                   choices=["batched", "batched-unfused", "serial", "counting"],
+                   help="default op-dispatch backend for every tenant "
+                        "(per-tenant pins would win; default: inherit "
+                        "REPRO_BACKEND, else batched)")
     p.set_defaults(func=_cmd_serve, seed=41)
 
     p = sub.add_parser("loadgen", parents=[seed, output],

@@ -123,6 +123,14 @@ class AthenaPipeline:
                 self.ctx, self.lwe_secret, self.sk, self.pk
             )
             self.s2c_key = S2CKey.generate(self.ctx, self.sk)
+            # Warm the NTT-domain stacks of every keyswitch key once at
+            # keygen: the fused kernels multiply against these on every
+            # rotation/CMult, so no request ever pays the key transforms.
+            self.rlk.warm()
+            for gk in self.packing_key.rotation_keys.values():
+                gk.warm()
+            for gk in self.s2c_key.rotation_keys.values():
+                gk.warm()
 
     # -- instrumentation -----------------------------------------------------
 

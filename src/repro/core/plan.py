@@ -1092,7 +1092,7 @@ def compile_program(
             steps=steps,
             params=params,
             chunk=chunk,
-            s2c=S2CPlan.build(params),
+            s2c=S2CPlan.build(params).warm_automorphisms(params),
             model_hash=program_fingerprint(program, tuning),
             name=program.name,
             batch_capacity=capacity,

@@ -30,6 +30,25 @@ same primes — only loop structure and instrumentation differ — so every
 primitive's output is bit-for-bit identical across backends. The
 cross-backend equivalence suite (``tests/test_backend.py``) pins this at
 the RnsPoly level and end-to-end through the five-step pipeline.
+
+Fused tier: beyond the per-primitive RNS ops, the protocol carries four
+coarse-grained ops that dominate the FBS hot path — :meth:`Backend.hadd_many`
+(one deferred reduction across an HAdd chain), :meth:`Backend.keyswitch`
+(gadget keyswitch of one component), :meth:`Backend.rotate_keyswitch`
+(automorphism + keyswitch, the packing/S2C rotation), and
+:meth:`Backend.giant_step_batch` (all giant-step CMult keyswitches of one
+FBS batched through stacked ``(G, D, L, N)`` transforms). Base-class
+defaults decompose to today's primitives (so :class:`SerialBackend`
+semantics are unchanged); :class:`BatchedBackend` overrides them with
+residue-stacked fused kernels built on cached NTT-domain key stacks and
+lazy reduction (:func:`lazy_reduce_sum`, bounded by
+:func:`lazy_chain_limit`); :class:`UnfusedBatchedBackend` pins the batched
+kernels with fusion off, as the speedup baseline for the kernel-bench CI
+gate. All default and fused implementations are *dispatch-free* — they
+call ``self`` methods and module-level transforms, never
+:func:`current_backend` — so :class:`CountingBackend` can count each fused
+op exactly once in primitive-equivalent units and delegate execution to
+its inner backend without double counting.
 """
 
 from __future__ import annotations
@@ -56,11 +75,52 @@ __all__ = [
     "BatchedBackend",
     "CountingBackend",
     "SerialBackend",
+    "UnfusedBatchedBackend",
     "current_backend",
     "default_backend",
     "get_backend",
+    "lazy_chain_limit",
+    "lazy_reduce_sum",
     "use_backend",
 ]
+
+
+def lazy_chain_limit(moduli: tuple[int, ...]) -> int:
+    """Max number of reduced residues that may be summed lazily in int64.
+
+    Every reduced residue is <= max(moduli) - 1, so a chain of k deferred
+    additions peaks at k * (max_p - 1); the accumulator stays below
+    2**63 - 1 as long as k <= this bound. For 31-bit limb primes the bound
+    is ~2**32 — far above any HAdd chain or gadget-digit count in the zoo
+    models (the hypothesis suite in ``tests/test_fused_kernels.py`` pins
+    this across all presets).
+    """
+    return (2**63 - 1) // (max(moduli) - 1)
+
+
+def lazy_reduce_sum(stack: np.ndarray, moduli: tuple[int, ...], axis: int = 0) -> np.ndarray:
+    """Sum already-reduced residue stacks along ``axis``, reducing once.
+
+    The fused-kernel primitive behind :meth:`Backend.hadd_many` and the
+    NTT-domain keyswitch accumulators: instead of reducing mod p after
+    every addition, defer the reduction across the whole chain and apply
+    one ``%`` at the end. Inputs must already be reduced (< max(moduli));
+    chains longer than :func:`lazy_chain_limit` are folded in
+    overflow-safe chunks. The limb axis of the *result* must be -2 so the
+    (L, 1) modulus column broadcasts.
+    """
+    mods = _moduli_column(moduli)
+    k = stack.shape[axis]
+    limit = lazy_chain_limit(moduli)
+    if k <= limit:
+        return np.add.reduce(stack, axis=axis) % mods
+    acc = None
+    for start in range(0, k, limit):
+        index = [slice(None)] * stack.ndim
+        index[axis] = slice(start, start + limit)
+        part = np.add.reduce(stack[tuple(index)], axis=axis) % mods
+        acc = part if acc is None else (acc + part) % mods
+    return acc
 
 
 @lru_cache(maxsize=None)
@@ -136,11 +196,13 @@ class _BatchedKernel:
 
     @staticmethod
     def automorphism(a: np.ndarray, k: int, moduli: tuple[int, ...]) -> np.ndarray:
-        n = a.shape[1]
+        # Accepts (..., L, N): leading axes batch, so the fused
+        # rotate-keyswitch can permute both ciphertext components at once.
+        n = a.shape[-1]
         dest, sign = automorphism_map(n, k)
         out = np.empty_like(a)
         # |a * sign| < p < 2**31, so the signed product is int64-exact.
-        out[:, dest] = a * sign % _moduli_column(moduli)
+        out[..., dest] = a * sign % _moduli_column(moduli)
         return out
 
     @staticmethod
@@ -318,10 +380,86 @@ class Backend:
         from repro.fhe import rns
 
         q = rns.rns_modulus(moduli)
-        coeffs = rns.from_rns(data, moduli)
-        out = np.empty(data.shape[1], dtype=np.int64)
-        for j, c in enumerate(coeffs):
-            out[j] = ((c * new_modulus + q // 2) // q) % new_modulus
+        coeffs = rns.from_rns_object(data, moduli)
+        scaled = ((coeffs * new_modulus + q // 2) // q) % new_modulus
+        return scaled.astype(np.int64)
+
+    # -- fused tier --------------------------------------------------------
+    #
+    # Coarse-grained ops covering the FBS hot path. The defaults below
+    # decompose to the RNS-tier primitives of *this* backend (``self``
+    # methods only — never ``current_backend()``), which keeps serial
+    # semantics unchanged and lets CountingBackend count each fused op
+    # exactly once before delegating execution to its inner backend.
+
+    def hadd_many(self, arrays, moduli):
+        """Sum k reduced (L, N) residue stacks; one chain, one result.
+
+        Default: the sequential left-fold the call sites used to spell
+        out. BatchedBackend defers the modular reduction across the whole
+        chain (:func:`lazy_reduce_sum`).
+        """
+        acc = arrays[0]
+        for other in arrays[1:]:
+            acc = self.add(acc, other, moduli)
+        return acc
+
+    def keyswitch(self, data, ksk, moduli):
+        """Gadget keyswitch of one component's (L, N) residue stack.
+
+        Returns the (delta_c0, delta_c1) residue stacks to be added to the
+        ciphertext. Default: the classic digit loop — decompose, then one
+        full polynomial product per digit per output component, exactly as
+        ``repro.fhe.keys.apply_keyswitch`` historically inlined it.
+        """
+        from repro.fhe.keys import gadget_digit_rows
+
+        digit_rows = gadget_digit_rows(data, moduli, ksk.base_bits, ksk.num_digits)
+        mods = _moduli_column(moduli)
+        out0 = np.zeros_like(data)
+        out1 = np.zeros_like(data)
+        for d in range(ksk.num_digits):
+            dig = np.mod(digit_rows[d][None, :], mods)
+            out0 = self.add(out0, self.mul(dig, ksk.k0[d].data, moduli), moduli)
+            out1 = self.add(out1, self.mul(dig, ksk.k1[d].data, moduli), moduli)
+        return out0, out1
+
+    def rotate_keyswitch(self, c0, c1, k, ksk, moduli):
+        """Fused automorphism + keyswitch: the packing/S2C rotation body.
+
+        Takes the two component stacks of a ciphertext, applies X -> X^k to
+        both, keyswitches the rotated c1 back under the base secret, and
+        returns the new (c0, c1) stacks. Default decomposes to two
+        automorphisms, a keyswitch, and the final correction add.
+        """
+        c0k = self.automorphism(c0, k, moduli)
+        c1k = self.automorphism(c1, k, moduli)
+        d0, d1 = self.keyswitch(c1k, ksk, moduli)
+        return self.add(c0k, d0, moduli), d1
+
+    def giant_step_batch(self, ctx, pairs, rlk):
+        """Relinearized CMult for every giant-step pair of one FBS.
+
+        ``pairs`` is a list of (inner, giant) BfvCiphertexts; returns the
+        list of products in order. Default: per-pair tensor + keyswitch +
+        correction adds — the exact op sequence ``ctx.cmult`` used to run,
+        with the keyswitch routed through :meth:`keyswitch` so a batched
+        override can stack all G gadget decompositions through single
+        (G, D, L, N) transforms.
+        """
+        from repro.fhe.bfv import BfvCiphertext
+        from repro.fhe.poly import RnsPoly
+
+        out = []
+        for a, b in pairs:
+            moduli = a.params.moduli
+            self.record("cmult")
+            r0, r1, r2, noise = ctx.cmult_tensor(a, b)
+            self.record("keyswitch")
+            d0, d1 = self.keyswitch(r2.data, rlk, moduli)
+            c0 = RnsPoly(self.add(r0.data, d0, moduli), moduli)
+            c1 = RnsPoly(self.add(r1.data, d1, moduli), moduli)
+            out.append(BfvCiphertext(c0, c1, a.params, noise))
         return out
 
     # -- LWE tier ----------------------------------------------------------
@@ -377,10 +515,102 @@ class Backend:
 
 
 class BatchedBackend(Backend):
-    """Residue-stacked execution engine (the default hot path)."""
+    """Residue-stacked execution engine (the default hot path).
+
+    Overrides the fused tier with stacked-array kernels: keyswitches run
+    one batched forward NTT over all gadget digits against cached
+    NTT-domain key stacks (:meth:`repro.fhe.keys.KeySwitchKey.ntt_stack`),
+    accumulate in the NTT domain with lazy reduction, and pay two inverse
+    transforms per keyswitch instead of two per digit. Bit-identical to
+    the decomposed defaults: the NTT is linear mod p, so
+    ``intt(sum(f_d * k_d mod p) mod p) == sum(intt(f_d * k_d)) mod p``
+    exactly, and the cached key transforms are the same deterministic
+    ``ntt_forward_rns`` values the per-digit path recomputes.
+    """
 
     name = "batched"
     kernel = _BatchedKernel
+
+    #: Soft element budget for one stacked (G', D, L, N) giant-step chunk
+    #: (~128 MiB of int64); keeps large-parameter batches out of swap
+    #: without changing results (chunk boundaries are invisible mod p).
+    giant_batch_elems = 1 << 24
+
+    def hadd_many(self, arrays, moduli):
+        if len(arrays) == 1:
+            return arrays[0]
+        return lazy_reduce_sum(np.stack(arrays), moduli)
+
+    def keyswitch(self, data, ksk, moduli):
+        from repro.fhe.keys import gadget_digit_rows
+
+        mods = _moduli_column(moduli)
+        digit_rows = gadget_digit_rows(data, moduli, ksk.base_bits, ksk.num_digits)
+        # Broadcast (D, N) digits across limbs, one batched forward pass.
+        fd = ntt_forward_rns(np.mod(digit_rows[:, None, :], mods), moduli)
+        k0, k1 = ksk.ntt_stack()
+        # Products reduce below 2**31 before the lazy digit-axis sum.
+        acc0 = lazy_reduce_sum(fd * k0 % mods, moduli)
+        acc1 = lazy_reduce_sum(fd * k1 % mods, moduli)
+        out = ntt_inverse_rns(np.stack([acc0, acc1]), moduli)
+        return out[0], out[1]
+
+    def rotate_keyswitch(self, c0, c1, k, ksk, moduli):
+        rot = self.kernel.automorphism(np.stack([c0, c1]), k, moduli)
+        d0, d1 = self.keyswitch(rot[1], ksk, moduli)
+        return (rot[0] + d0) % _moduli_column(moduli), d1
+
+    def giant_step_batch(self, ctx, pairs, rlk):
+        from repro.fhe.bfv import BfvCiphertext
+        from repro.fhe.keys import gadget_digit_rows
+        from repro.fhe.poly import RnsPoly
+
+        if not pairs:
+            return []
+        params = pairs[0][0].params
+        moduli = params.moduli
+        mods = _moduli_column(moduli)
+        num_digits = rlk.num_digits
+        k0, k1 = rlk.ntt_stack()
+        per_pair = num_digits * len(moduli) * params.n
+        chunk = max(1, self.giant_batch_elems // per_pair)
+        out = []
+        for start in range(0, len(pairs), chunk):
+            group = pairs[start : start + chunk]
+            tensors = [ctx.cmult_tensor(a, b) for a, b in group]
+            digits = np.stack(
+                [
+                    gadget_digit_rows(r2.data, moduli, rlk.base_bits, num_digits)
+                    for _, _, r2, _ in tensors
+                ]
+            )
+            # (G, D, N) digits -> (G, D, L, N) residues, one forward pass.
+            fd = ntt_forward_rns(np.mod(digits[:, :, None, :], mods), moduli)
+            acc0 = lazy_reduce_sum(fd * k0 % mods, moduli, axis=1)
+            acc1 = lazy_reduce_sum(fd * k1 % mods, moduli, axis=1)
+            deltas = ntt_inverse_rns(np.stack([acc0, acc1]), moduli)
+            for g, (r0, r1, _, noise) in enumerate(tensors):
+                c0 = RnsPoly((r0.data + deltas[0, g]) % mods, moduli)
+                c1 = RnsPoly((r1.data + deltas[1, g]) % mods, moduli)
+                out.append(BfvCiphertext(c0, c1, params, noise))
+        return out
+
+
+class UnfusedBatchedBackend(BatchedBackend):
+    """Batched RNS kernels with the fused tier decomposed to primitives.
+
+    Same (L, N) stacked limb arithmetic as :class:`BatchedBackend`, but
+    every fused op falls back to the base-class digit loops — the
+    apples-to-apples baseline the kernel-bench CI gate measures fusion
+    against, and the ``REPRO_BACKEND=batched-unfused`` tier-1 matrix leg.
+    """
+
+    name = "batched-unfused"
+
+    hadd_many = Backend.hadd_many
+    keyswitch = Backend.keyswitch
+    rotate_keyswitch = Backend.rotate_keyswitch
+    giant_step_batch = Backend.giant_step_batch
 
 
 class SerialBackend(Backend):
@@ -533,6 +763,53 @@ class CountingBackend(Backend):
         self._bulk(rnsconv=data.size)
         return self.inner.mod_switch(data, moduli, new_modulus)
 
+    # -- fused tier (count once in decomposed-equivalent units, delegate) ----
+    #
+    # Fused implementations are dispatch-free, so the inner backend's
+    # execution records nothing here: each fused op is counted exactly
+    # once, in the primitive units the decomposed path would have
+    # dispatched — per digit, one full product (3L ntt + LN mod_mul) per
+    # output component plus the accumulator add. That keeps executed
+    # counts identical whether the inner backend fuses or not, so
+    # ``compare_traces`` reconciliation and the trace ratio bands hold
+    # unchanged under fusion.
+
+    def _keyswitch_units(self, size: int, num_limbs: int, num_digits: int) -> dict:
+        return {
+            "ntt": 6 * num_limbs * num_digits,
+            "mod_mul": 2 * num_digits * size,
+            "mod_add": 2 * num_digits * size,
+        }
+
+    def hadd_many(self, arrays, moduli):
+        if len(arrays) > 1:
+            self._bulk(mod_add=(len(arrays) - 1) * arrays[0].size)
+        return self.inner.hadd_many(arrays, moduli)
+
+    def keyswitch(self, data, ksk, moduli):
+        self._bulk(**self._keyswitch_units(data.size, len(moduli), ksk.num_digits))
+        return self.inner.keyswitch(data, ksk, moduli)
+
+    def rotate_keyswitch(self, c0, c1, k, ksk, moduli):
+        units = self._keyswitch_units(c0.size, len(moduli), ksk.num_digits)
+        units["automorph"] = 2 * len(moduli)
+        units["mod_add"] += c0.size  # the c0 + delta_c0 correction
+        self._bulk(**units)
+        return self.inner.rotate_keyswitch(c0, c1, k, ksk, moduli)
+
+    def giant_step_batch(self, ctx, pairs, rlk):
+        if pairs:
+            moduli = pairs[0][0].params.moduli
+            size = pairs[0][0].c0.data.size
+            g = len(pairs)
+            units = self._keyswitch_units(size, len(moduli), rlk.num_digits)
+            units = {op: k * g for op, k in units.items()}
+            units["mod_add"] += 2 * size * g  # r0+d0, r1+d1 per pair
+            self.record("cmult", g)
+            self.record("keyswitch", g)
+            self._bulk(**units)
+        return self.inner.giant_step_batch(ctx, pairs, rlk)
+
     # -- LWE tier ------------------------------------------------------------
 
     def sample_extract(self, ct, indices=None):
@@ -567,9 +844,14 @@ class CountingBackend(Backend):
 
 #: Singleton executing backends (stateless; counting backends are per-use).
 BATCHED = BatchedBackend()
+BATCHED_UNFUSED = UnfusedBatchedBackend()
 SERIAL = SerialBackend()
 
-_NAMED: dict[str, Backend] = {"batched": BATCHED, "serial": SERIAL}
+_NAMED: dict[str, Backend] = {
+    "batched": BATCHED,
+    "batched-unfused": BATCHED_UNFUSED,
+    "serial": SERIAL,
+}
 
 _ACTIVE: contextvars.ContextVar[Backend | None] = contextvars.ContextVar(
     "repro_fhe_backend", default=None
@@ -579,14 +861,23 @@ _DEFAULT: Backend | None = None
 
 
 def get_backend(backend: "Backend | str") -> Backend:
-    """Resolve a backend instance or name (``batched`` | ``serial``)."""
+    """Resolve a backend instance or name.
+
+    Names: ``batched`` (fused default) | ``batched-unfused`` | ``serial``
+    | ``counting``. ``counting`` returns a *fresh* CountingBackend over
+    the batched engine each call — counters are per-use state, so there
+    is no counting singleton to share.
+    """
     if isinstance(backend, Backend):
         return backend
+    if backend == "counting":
+        return CountingBackend("batched")
     try:
         return _NAMED[backend]
     except KeyError:
         raise ParameterError(
-            f"unknown backend {backend!r}; options: {sorted(_NAMED)}"
+            f"unknown backend {backend!r}; options: "
+            f"{sorted([*_NAMED, 'counting'])}"
         ) from None
 
 

@@ -202,11 +202,9 @@ class BfvContext:
         p = self.params
         current_backend().record("decrypt")
         phase = ct.c0 + ct.c1 * sk.poly
-        coeffs = phase.to_int_coeffs(centered=False)
+        coeffs = np.asarray(phase.to_int_coeffs(centered=False), dtype=object)
         q = p.q
-        out = np.empty(p.n, dtype=np.int64)
-        for j, v in enumerate(coeffs):
-            out[j] = ((v * p.t + q // 2) // q) % p.t
+        out = (((coeffs * p.t + q // 2) // q) % p.t).astype(np.int64)
         return Plaintext(out, p)
 
     # ----- homomorphic operations ------------------------------------------
@@ -221,6 +219,31 @@ class BfvContext:
         current_backend().record("hadd")
         return BfvCiphertext(
             a.c0 - b.c0, a.c1 - b.c1, a.params, max(a.noise_bits, b.noise_bits) + 1
+        )
+
+    def add_many(self, cts: list[BfvCiphertext]) -> BfvCiphertext:
+        """Sum a chain of ciphertexts through one fused HAdd per component.
+
+        Equivalent to left-folding :meth:`add` (same noise estimate: the
+        sequential ``max(acc, next) + 1`` fold), but both component chains
+        go through the backend's :meth:`~repro.fhe.backend.Backend.hadd_many`,
+        which on the batched engine defers the modular reduction across the
+        whole chain.
+        """
+        if not cts:
+            raise ParameterError("add_many needs at least one ciphertext")
+        if len(cts) == 1:
+            return cts[0]
+        be = current_backend()
+        be.record("hadd", len(cts) - 1)
+        moduli = cts[0].params.moduli
+        c0 = be.hadd_many([ct.c0.data for ct in cts], moduli)
+        c1 = be.hadd_many([ct.c1.data for ct in cts], moduli)
+        noise = cts[0].noise_bits
+        for ct in cts[1:]:
+            noise = max(noise, ct.noise_bits) + 1
+        return BfvCiphertext(
+            RnsPoly(c0, moduli), RnsPoly(c1, moduli), cts[0].params, noise
         )
 
     def add_plain(self, ct: BfvCiphertext, pt: Plaintext) -> BfvCiphertext:
@@ -257,17 +280,17 @@ class BfvContext:
             ct.c0.mul_ntt(w), ct.c1.mul_ntt(w), ct.params, ct.noise_bits + self._log_nt
         )
 
-    def cmult(
-        self, a: BfvCiphertext, b: BfvCiphertext, rlk: KeySwitchKey
-    ) -> BfvCiphertext:
-        """Ciphertext-ciphertext multiplication with relinearization.
+    def cmult_tensor(
+        self, a: BfvCiphertext, b: BfvCiphertext
+    ) -> tuple[RnsPoly, RnsPoly, RnsPoly, float]:
+        """The tensor half of CMult: exact degree-2 product, scaled by t/Q.
 
-        Tensor the ciphertexts exactly over the integers (centered lifts),
-        scale each component by t/Q with rounding, then fold the quadratic
-        term back to degree one with the relinearization key.
+        Returns (r0, r1, r2, noise_bits) — the three scaled components
+        before relinearization. Deliberately dispatch-free (big-int
+        Kronecker products and CRT lifts only, no backend calls), so the
+        fused :meth:`~repro.fhe.backend.Backend.giant_step_batch` can run
+        it for every pair and then batch all the keyswitches.
         """
-        p = a.params
-        current_backend().record("cmult")
         a0 = a.c0.to_int_coeffs()
         a1 = a.c1.to_int_coeffs()
         b0 = b.c0.to_int_coeffs()
@@ -280,15 +303,30 @@ class BfvContext:
         r0 = self._scale_round(e0)
         r1 = self._scale_round(e1)
         r2 = self._scale_round(e2)
-        d0, d1 = apply_keyswitch(r2, rlk)
         noise = max(a.noise_bits, b.noise_bits) + self._log_nt
+        return r0, r1, r2, noise
+
+    def cmult(
+        self, a: BfvCiphertext, b: BfvCiphertext, rlk: KeySwitchKey
+    ) -> BfvCiphertext:
+        """Ciphertext-ciphertext multiplication with relinearization.
+
+        Tensor the ciphertexts exactly over the integers (centered lifts),
+        scale each component by t/Q with rounding, then fold the quadratic
+        term back to degree one with the relinearization key.
+        """
+        p = a.params
+        current_backend().record("cmult")
+        r0, r1, r2, noise = self.cmult_tensor(a, b)
+        d0, d1 = apply_keyswitch(r2, rlk)
         return BfvCiphertext(r0 + d0, r1 + d1, p, noise)
 
     def _scale_round(self, coeffs: list[int]) -> RnsPoly:
         """round(t * x / Q) mod Q, coefficient-wise on exact integers."""
         p = self.params
         q = p.q
-        scaled = [((c * p.t * 2 + q) // (2 * q)) for c in coeffs]
+        arr = np.asarray(coeffs, dtype=object)
+        scaled = (arr * (p.t * 2) + q) // (2 * q)
         return RnsPoly.from_int_coeffs(scaled, p.moduli)
 
     def square(self, ct: BfvCiphertext, rlk: KeySwitchKey) -> BfvCiphertext:
@@ -299,14 +337,24 @@ class BfvContext:
     def apply_galois(
         self, ct: BfvCiphertext, k: int, gk: KeySwitchKey
     ) -> BfvCiphertext:
-        """sigma_k on the plaintext; keyswitch back to the original key."""
+        """sigma_k on the plaintext; keyswitch back to the original key.
+
+        Runs through the backend's fused
+        :meth:`~repro.fhe.backend.Backend.rotate_keyswitch` — one stacked
+        automorphism over both components plus the batched keyswitch on
+        the batched engine; the historical two-automorphism digit loop on
+        serial. Both records land here so counting stays in one place.
+        """
         k = k % (2 * ct.params.n)
-        current_backend().record("rotation")
-        c0k = ct.c0.automorphism(k)
-        c1k = ct.c1.automorphism(k)
-        d0, d1 = apply_keyswitch(c1k, gk)
+        be = current_backend()
+        be.record("rotation")
+        be.record("keyswitch")
+        moduli = ct.params.moduli
+        c0, c1 = be.rotate_keyswitch(ct.c0.data, ct.c1.data, k, gk, moduli)
         noise = ct.noise_bits + math.log2(ct.params.n) / 2 + 2
-        return BfvCiphertext(c0k + d0, d1, ct.params, noise)
+        return BfvCiphertext(
+            RnsPoly(c0, moduli), RnsPoly(c1, moduli), ct.params, noise
+        )
 
     def rotate_slots(
         self, ct: BfvCiphertext, amount: int, gks: dict[int, KeySwitchKey]

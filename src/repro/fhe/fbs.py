@@ -332,11 +332,59 @@ class FbsPlan:
             self._const_pts[key] = got
         return got
 
+    @cached_property
+    def ladder(self) -> tuple[tuple[str, int, int, int], ...]:
+        """CMult schedule of the power/giant ladder, in materialization order.
+
+        Each step is (kind, exponent, lo, hi): kind ``"p"`` builds
+        ct^e = ct^lo * ct^hi (minimal-depth split e//2 / e - e//2), kind
+        ``"g"`` builds the giant power ct^(g*bs) from giants lo and hi
+        (giant 1 aliases power bs). The order replays exactly the lazy
+        recursion the evaluator historically ran — per group in ascending
+        order, each needed power before the group's giant — so plan-driven
+        evaluation stays bit-identical while the runtime loses the
+        per-request recursion and the giant-step *combination* CMults can
+        be batched after the ladder. Computed once per plan at compile
+        time (``cached_property``).
+        """
+        steps: list[tuple[str, int, int, int]] = []
+        have_p = {1}
+        have_g: set[int] = set()
+
+        def need_p(e: int) -> None:
+            if e in have_p:
+                return
+            half = e // 2
+            need_p(half)
+            need_p(e - half)
+            have_p.add(e)
+            steps.append(("p", e, half, e - half))
+
+        def need_g(g: int) -> None:
+            if g == 1:
+                need_p(self.bs)
+                return
+            if g in have_g:
+                return
+            half = g // 2
+            need_g(half)
+            need_g(g - half)
+            have_g.add(g)
+            steps.append(("g", g, half, g - half))
+
+        for g, _, terms in self.groups:
+            for j, _ in terms:
+                need_p(j)
+            if g:
+                need_g(g)
+        return tuple(steps)
+
     def materialize(self, params) -> "FbsPlan":
-        """Pre-encode every group constant for one parameter set."""
+        """Pre-encode constants and the CMult ladder for one parameter set."""
         for _, const, _ in self.groups:
             if const:
                 self.const_plaintext(const, params).add_operand()
+        self.ladder  # noqa: B018 — force the cached schedule at compile time
         return self
 
 
@@ -378,6 +426,18 @@ def fbs_evaluate_impl(
     the ``fbs_giant`` phase so a counting backend attributes it the same
     way the analytical trace model does; the scalar baby-step sums stay in
     the enclosing ``fbs`` phase.
+
+    Structure: replay the plan's precomputed :attr:`FbsPlan.ladder` (the
+    minimal-depth power/giant CMult schedule — depth ceil(log2 e) per
+    power, which keeps FBS noise at ~log2(t) levels instead of sqrt(t)),
+    then fold each group's baby terms through one fused
+    :meth:`~repro.fhe.bfv.BfvContext.add_many`, and finally run every
+    giant-step *combination* CMult through a single
+    :meth:`~repro.fhe.backend.Backend.giant_step_batch` — the batched
+    engine stacks all G gadget decompositions into one (G, D, L, N)
+    transform set. The combinations are mutually independent (no group
+    product feeds another group), so deferring them behind the group scan
+    is bit-identical to the historical interleaved order.
     """
     be = current_backend()
     t = ctx.params.t
@@ -387,66 +447,52 @@ def fbs_evaluate_impl(
         plan = FbsPlan.from_lut(lut)
     bs = plan.bs
 
-    # Power cache with minimal multiplicative depth: ct^e is built as
-    # ct^(e//2) * ct^(e - e//2), giving depth ceil(log2 e). This is what
-    # keeps the FBS noise at ~log2(t) CMult levels (Table 4's depth 17 for
-    # t = 65537) instead of the sqrt(t) a naive ladder would consume.
     powers: dict[int, BfvCiphertext] = {1: ct}
-
-    def power(e: int) -> BfvCiphertext:
-        got = powers.get(e)
-        if got is None:
-            half = e // 2
-            with be.phase("fbs_giant"):
-                got = ctx.cmult(power(half), power(e - half), rlk)
-            if cost:
-                cost.cmult += 1
-            powers[e] = got
-        return got
-
-    # Giant powers ct^(g*bs) get their own cache indexed by g so every
-    # intermediate is itself a giant power and is reused across groups;
-    # depth stays ceil(log2 g) + depth(ct^bs).
     giants: dict[int, BfvCiphertext] = {}
+    for kind, e, lo, hi in plan.ladder:
+        with be.phase("fbs_giant"):
+            if kind == "p":
+                got = ctx.cmult(powers[lo], powers[hi], rlk)
+                powers[e] = got
+            else:
+                a = powers[bs] if lo == 1 else giants[lo]
+                b = powers[bs] if hi == 1 else giants[hi]
+                giants[e] = ctx.cmult(a, b, rlk)
+        if cost:
+            cost.cmult += 1
 
     def giant(g: int) -> BfvCiphertext:
-        if g == 1:
-            return power(bs)
-        got = giants.get(g)
-        if got is None:
-            half = g // 2
-            with be.phase("fbs_giant"):
-                got = ctx.cmult(giant(half), giant(g - half), rlk)
-            if cost:
-                cost.cmult += 1
-            giants[g] = got
-        return got
+        return powers[bs] if g == 1 else giants[g]
 
-    result: BfvCiphertext | None = None
+    # Group scan: baby sums now, giant combinations deferred into one batch.
+    combos: list[tuple[BfvCiphertext, BfvCiphertext]] = []
+    slots: list[BfvCiphertext | None] = []  # result parts, group order
     for g, const, terms in plan.groups:
-        inner: BfvCiphertext | None = None
-        for j, coeff in terms:
-            term = ctx.smult(power(j), coeff)
-            if cost:
-                cost.smult += 1
-            inner = term if inner is None else ctx.add(inner, term)
-            if cost and inner is not term:
-                cost.hadd += 1
+        parts = [ctx.smult(powers[j], coeff) for j, coeff in terms]
+        if cost:
+            cost.smult += len(terms)
+            cost.hadd += max(0, len(parts) - 1)
+        inner = ctx.add_many(parts) if parts else None
         if const:
             base = inner if inner is not None else ctx.encrypt_zero()
             inner = ctx.add_plain(base, plan.const_plaintext(const, ctx.params))
-        if inner is None:
-            continue
         if g:
-            with be.phase("fbs_giant"):
-                inner = ctx.cmult(inner, giant(g), rlk)
-            if cost:
-                cost.cmult += 1
-        result = inner if result is None else ctx.add(result, inner)
-        if cost and result is not inner:
-            cost.hadd += 1
-    if result is None:
+            combos.append((inner, giant(g)))
+            slots.append(None)  # filled from the batch below
+        else:
+            slots.append(inner)
+    if combos:
+        with be.phase("fbs_giant"):
+            combined = be.giant_step_batch(ctx, combos, rlk)
+        if cost:
+            cost.cmult += len(combos)
+        it = iter(combined)
+        slots = [next(it) if s is None else s for s in slots]
+    result_parts = [s for s in slots if s is not None]
+    if not result_parts:
         # All-zero polynomial: the LUT is identically zero, so the answer is
         # a (transparent) zero ciphertext rather than SMult(ct, 0).
-        result = ctx.encrypt_zero()
-    return result
+        return ctx.encrypt_zero()
+    if cost:
+        cost.hadd += len(result_parts) - 1
+    return ctx.add_many(result_parts)

@@ -201,14 +201,18 @@ def keyswitch_impl(batch: LweBatch, ksk: LweKeySwitchKey) -> LweBatch:
         dig[:, :, d] = acc & mask
         acc >>= ksk.base_bits
     # a' = sum_{j,d} dig[c,j,d] * alpha[j,d,:] mod q. Exact int64 matmuls:
-    # each product is < 2^base_bits * q < 2^(base_bits+31), so the number of
-    # terms we may accumulate before reducing is 2^(62-base_bits-31); chunk
-    # the contraction accordingly.
+    # each product is < 2^base_bits * q, so the safe chain length before a
+    # reduction is the same lazy-accumulation bound the fused RNS kernels
+    # use, taken at an effective modulus of 2^base_bits * q; chunk the
+    # contraction accordingly (chunk boundaries are invisible mod q).
+    from repro.fhe.backend import lazy_chain_limit
+
     flat_dig = dig.reshape(count, big_n * digits)
     flat_alpha = ksk.alpha.reshape(big_n * digits, -1)
     flat_beta = ksk.beta.reshape(big_n * digits)
     total = big_n * digits
-    step = max(1, min(total, (1 << (62 - ksk.base_bits)) // q))
+    # -1 reserves one chain slot for the carried (already-reduced) accumulator.
+    step = max(1, min(total, lazy_chain_limit(((1 << ksk.base_bits) * q,)) - 1))
     acc_a = np.zeros((count, ksk.alpha.shape[2]), dtype=np.int64)
     acc_b = np.zeros(count, dtype=np.int64)
     for start in range(0, total, step):

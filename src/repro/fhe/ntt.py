@@ -139,13 +139,16 @@ def _rns_tables(
 
 
 def ntt_forward_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-    """Forward negacyclic NTT of an (L, N) residue stack, all limbs at once.
+    """Forward negacyclic NTT of an (..., L, N) residue stack, all limbs at once.
 
-    Row i is transformed modulo ``moduli[i]``; one butterfly pass per stage
-    covers every limb (the per-prime loop this replaces ran log2(N) stages L
-    times over). Same ordering contract as :func:`ntt_forward`: natural in,
-    bit-reversed out. Overflow-safe for primes < 2**31: every intermediate
-    product is < 2**62.
+    Axis -2 indexes limbs: slice i is transformed modulo ``moduli[i]``; one
+    butterfly pass per stage covers every limb (the per-prime loop this
+    replaces ran log2(N) stages L times over). Leading axes batch freely —
+    the fused-kernel layer stacks gadget digits (D, L, N) or whole giant-step
+    groups (G, D, L, N) through a single call, amortizing the Python/numpy
+    dispatch of every stage across the batch. Same ordering contract as
+    :func:`ntt_forward`: natural in, bit-reversed out. Overflow-safe for
+    primes < 2**31: every intermediate product is < 2**62.
     """
     n = a.shape[-1]
     psi_rev, _, _, mods = _rns_tables(n, moduli)
@@ -155,18 +158,21 @@ def ntt_forward_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
     m = 1
     while m < n:
         t //= 2
-        view = a.reshape(len(moduli), m, 2, t)
+        view = a.reshape(*a.shape[:-1], m, 2, t)
         s = psi_rev[:, m : 2 * m, None]
-        u = view[:, :, 0, :].copy()
-        v = view[:, :, 1, :] * s % mods3
-        view[:, :, 0, :] = (u + v) % mods3
-        view[:, :, 1, :] = (u - v) % mods3
+        u = view[..., 0, :].copy()
+        v = view[..., 1, :] * s % mods3
+        view[..., 0, :] = (u + v) % mods3
+        view[..., 1, :] = (u - v) % mods3
         m *= 2
     return a
 
 
 def ntt_inverse_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
-    """Inverse of :func:`ntt_forward_rns` (bit-reversed in, natural out)."""
+    """Inverse of :func:`ntt_forward_rns` (bit-reversed in, natural out).
+
+    Accepts the same (..., L, N) batched stacks as the forward transform.
+    """
     n = a.shape[-1]
     _, ipsi_rev, inv_n, mods = _rns_tables(n, moduli)
     a = np.mod(a, mods).astype(np.int64)
@@ -175,12 +181,12 @@ def ntt_inverse_rns(a: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
     m = n
     while m > 1:
         h = m // 2
-        view = a.reshape(len(moduli), h, 2, t)
+        view = a.reshape(*a.shape[:-1], h, 2, t)
         s = ipsi_rev[:, h : 2 * h, None]
-        u = view[:, :, 0, :].copy()
-        v = view[:, :, 1, :].copy()
-        view[:, :, 0, :] = (u + v) % mods3
-        view[:, :, 1, :] = (u - v) * s % mods3
+        u = view[..., 0, :].copy()
+        v = view[..., 1, :].copy()
+        view[..., 0, :] = (u + v) % mods3
+        view[..., 1, :] = (u - v) * s % mods3
         t *= 2
         m = h
     return a * inv_n % mods
@@ -194,19 +200,61 @@ def ntt_mul_rns(a: np.ndarray, b: np.ndarray, moduli: tuple[int, ...]) -> np.nda
     return ntt_inverse_rns(fa * fb % mods, moduli)
 
 
+@lru_cache(maxsize=None)
+def _exact_mul_basis(n: int, limbs: int) -> tuple[int, ...]:
+    """Auxiliary RNS basis for exact products: ``limbs`` 31-bit NTT primes.
+
+    Deterministic (largest qualifying primes downward), so every caller at
+    the same (n, limbs) shares one cached twiddle set via :func:`_rns_tables`.
+    """
+    from repro.utils.modmath import find_ntt_primes
+
+    return tuple(find_ntt_primes(limbs, 31, 2 * n))
+
+
 def negacyclic_mul_exact(a, b) -> list[int]:
-    """Exact product in Z[X]/(X^N + 1) using Kronecker substitution.
+    """Exact product in Z[X]/(X^N + 1) over arbitrary-precision integers.
 
     ``a`` and ``b`` are sequences of (possibly large, possibly negative)
-    Python integers. The polynomials are evaluated at x = 2**bits with
-    non-negative digit packing, multiplied as two big integers (Python's
-    Karatsuba does the heavy lifting), unpacked, and reduced negacyclically.
+    Python integers. For power-of-two lengths the product is computed in an
+    auxiliary RNS basis wide enough that the centered CRT lift recovers the
+    true integer coefficients (|c_i| <= N * max|a| * max|b| < basis/2):
+    vectorized int64 NTTs do the convolution, big-int work is confined to
+    the basis conversion at the seams. Other lengths fall back to Kronecker
+    substitution into Python big integers.
     """
     n = len(a)
     if len(b) != n:
         raise ParameterError("operands must have equal length")
-    a = [int(x) for x in a]
-    b = [int(x) for x in b]
+    if n >= 2 and not (n & (n - 1)):
+        arr_a = np.array([int(x) for x in a], dtype=object)
+        arr_b = np.array([int(x) for x in b], dtype=object)
+        max_a = max(1, int(max(arr_a.max(), -arr_a.min())))
+        max_b = max(1, int(max(arr_b.max(), -arr_b.min())))
+        # Basis product > 2 * N * max_a * max_b: centered lift is exact.
+        bound_bits = (n * max_a * max_b).bit_length() + 2
+        # find_ntt_primes(bits=31) yields primes in (2**30, 2**31).
+        basis = _exact_mul_basis(n, -(-bound_bits // 30))
+        from repro.fhe.rns import from_rns_centered, to_rns
+
+        stacked = np.stack([to_rns(arr_a, basis), to_rns(arr_b, basis)])
+        f = ntt_forward_rns(stacked, basis)
+        mods = np.array(basis, dtype=np.int64)[:, None]
+        prod = ntt_inverse_rns(f[0] * f[1] % mods, basis)
+        return from_rns_centered(prod, basis)
+    return _negacyclic_mul_kronecker([int(x) for x in a], [int(x) for x in b])
+
+
+def _negacyclic_mul_kronecker(a: list[int], b: list[int]) -> list[int]:
+    """Kronecker-substitution reference path (any length, pure big-int).
+
+    The polynomials are evaluated at x = 2**bits with non-negative digit
+    packing, multiplied as two big integers (Python's Karatsuba does the
+    heavy lifting), unpacked, and reduced negacyclically. Retained as the
+    fallback for non-power-of-two lengths and as the independent oracle the
+    RNS-basis path is tested against.
+    """
+    n = len(a)
     # Shift to non-negative digits: offset each coefficient by M, multiply,
     # then subtract the cross terms. Cheaper: split into sign-free parts.
     # Split into non-negative parts so every packed digit stays non-negative

@@ -29,42 +29,65 @@ def _crt_constants(moduli: tuple[int, ...]) -> tuple[int, list[int], list[int]]:
     return q, partials, inverses
 
 
+@lru_cache(maxsize=None)
+def _crt_weight_column(moduli: tuple[int, ...]) -> np.ndarray:
+    """(L, 1) object column of CRT weights (Q/p_i) * (Q/p_i)^-1 mod p_i.
+
+    Kept as a read-only object array so the lift is one broadcast multiply
+    + sum instead of a per-coefficient Python loop; the entries are exact
+    Python big ints, so nothing overflows regardless of chain length.
+    """
+    q, partials, inverses = _crt_constants(moduli)
+    weights = np.array(
+        [part * inv for part, inv in zip(partials, inverses)], dtype=object
+    )[:, None]
+    weights.setflags(write=False)
+    return weights
+
+
 def to_rns(values: Sequence[int] | np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
     """Reduce a vector of integers into an (L, N) residue matrix.
 
     Word-sized numpy inputs reduce in one broadcast against the stacked
-    moduli column; big/negative Python ints fall back to the exact per-limb
-    path.
+    moduli column; big/negative Python ints go through a per-limb object
+    broadcast (Python ``%`` semantics, so negatives land in [0, p)).
     """
     if isinstance(values, np.ndarray) and values.dtype != object:
         mods = np.array(moduli, dtype=np.int64)[:, None]
         return np.mod(values[None, :].astype(np.int64), mods)
-    out = np.empty((len(moduli), len(values)), dtype=np.int64)
+    arr = np.asarray(values, dtype=object)
+    out = np.empty((len(moduli), arr.shape[0]), dtype=np.int64)
     for i, p in enumerate(moduli):
-        out[i] = [int(v) % p for v in values]
+        out[i] = arr % p
     return out
+
+
+def from_rns_object(residues: np.ndarray, moduli: tuple[int, ...]) -> np.ndarray:
+    """CRT-lift an (L, N) residue matrix to an (N,) object array in [0, Q).
+
+    The vectorized core of :func:`from_rns`: one object-dtype broadcast
+    against the cached weight column, so numpy drives the big-int loop
+    instead of interpreted Python. Hot path of gadget decomposition and
+    modulus switching.
+    """
+    if residues.shape[0] != len(moduli):
+        raise ParameterError("residue matrix does not match modulus chain")
+    q = _crt_constants(moduli)[0]
+    weights = _crt_weight_column(moduli)
+    return (residues.astype(object) * weights).sum(axis=0) % q
 
 
 def from_rns(residues: np.ndarray, moduli: tuple[int, ...]) -> list[int]:
     """CRT-lift an (L, N) residue matrix to exact integers in [0, Q)."""
-    if residues.shape[0] != len(moduli):
-        raise ParameterError("residue matrix does not match modulus chain")
-    q, partials, inverses = _crt_constants(moduli)
-    n = residues.shape[1]
-    out = [0] * n
-    for i, p in enumerate(moduli):
-        weight = partials[i] * inverses[i]
-        row = residues[i]
-        for j in range(n):
-            out[j] += int(row[j]) * weight
-    return [v % q for v in out]
+    return from_rns_object(residues, moduli).tolist()
 
 
 def from_rns_centered(residues: np.ndarray, moduli: tuple[int, ...]) -> list[int]:
     """CRT-lift into the centered interval (-Q/2, Q/2]."""
     q, _, _ = _crt_constants(moduli)
     half = q // 2
-    return [v - q if v > half else v for v in from_rns(residues, moduli)]
+    lifted = from_rns_object(residues, moduli)
+    return np.where(lifted > half, lifted - q, lifted).tolist()
 
 
 def rns_modulus(moduli: tuple[int, ...]) -> int:

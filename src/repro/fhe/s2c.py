@@ -119,6 +119,17 @@ class S2CPlan:
             MatvecPlan.build(_block_diagonals(p01, p10, half), params, baby_steps),
         )
 
+    def warm_automorphisms(self, params: FheParams) -> "S2CPlan":
+        """Precompute every automorphism index map both passes will use
+        (baby/giant rotations plus the row swap), so plan-driven runs pay
+        no map construction at request time."""
+        from repro.fhe.backend import automorphism_map
+
+        self.direct.warm_automorphisms(params)
+        self.crossed.warm_automorphisms(params)
+        automorphism_map(params.n, slotlib.row_swap_element(params.n))
+        return self
+
 
 def slot_to_coeff(
     ctx: BfvContext, ct: BfvCiphertext, key: S2CKey, plan: S2CPlan | None = None
@@ -149,13 +160,11 @@ def slot_to_coeff_impl(
             ctx, ct, None, key.rotation_keys, key.baby_steps, plan=plan.direct
         )
         swapped = ctx.row_swap(ct, key.rotation_keys)
-        return ctx.add(
-            direct,
-            hypercube_matvec(
-                ctx, swapped, None, key.rotation_keys, key.baby_steps,
-                plan=plan.crossed,
-            ),
+        crossed = hypercube_matvec(
+            ctx, swapped, None, key.rotation_keys, key.baby_steps,
+            plan=plan.crossed,
         )
+        return ctx.add_many([direct, crossed])
     p = _evaluation_matrix(n, t)
     p00, p01 = p[:half, :half], p[:half, half:]
     p10, p11 = p[half:, :half], p[half:, half:]

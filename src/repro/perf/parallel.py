@@ -34,10 +34,21 @@ _MODES = ("serial", "thread", "process")
 
 @dataclass(frozen=True)
 class ExecConfig:
-    """How a ParallelMap runs: backend mode plus worker count."""
+    """How a ParallelMap runs: executor mode, worker count, and the default
+    op-dispatch backend *name* for the work it fans out.
+
+    ``backend`` is a :func:`repro.fhe.backend.get_backend` name (e.g.
+    ``"batched"``, ``"batched-unfused"``, ``"serial"``, ``"counting"``) or
+    ``None`` to inherit the ambient default. It is carried as a string so
+    the config stays picklable across process pools. Precedence at a serve
+    call site: an explicit per-tenant pin (``Tenant.backend``) wins over
+    this config's backend, which wins over the ``REPRO_BACKEND``
+    environment default, which wins over the built-in ``"batched"``.
+    """
 
     mode: str = "serial"
     workers: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -46,15 +57,23 @@ class ExecConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ParameterError(f"worker count must be >= 1, got {self.workers}")
+        if self.backend is not None:
+            # Validate eagerly (unknown names raise ParameterError) but keep
+            # only the name: instances are context-local, names pickle.
+            from repro.fhe.backend import get_backend
+
+            get_backend(self.backend)
 
     @classmethod
     def from_env(cls, env: dict[str, str] | None = None) -> "ExecConfig":
-        """Build from ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` (os.environ default)."""
+        """Build from ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` / ``REPRO_BACKEND``
+        (os.environ default)."""
         env = os.environ if env is None else env
         mode = env.get("REPRO_EXECUTOR", "serial").strip().lower() or "serial"
         raw = env.get("REPRO_WORKERS", "").strip()
         workers = int(raw) if raw else None
-        return cls(mode=mode, workers=workers)
+        backend = env.get("REPRO_BACKEND", "").strip().lower() or None
+        return cls(mode=mode, workers=workers, backend=backend)
 
     @property
     def effective_workers(self) -> int:

@@ -172,7 +172,7 @@ class AthenaService:
                 seed=tenant.seed,
                 chunk=chunk,
                 cache=self.cache,
-                backend=tenant.backend,
+                backend=tenant.backend or self.exec_config.backend,
                 tuning=tuning,
             )
             if fingerprint is None:

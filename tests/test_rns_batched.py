@@ -37,12 +37,17 @@ def params(request):
 def _default_name() -> str:
     """What rns_backend() should report outside any use_backend context.
 
-    The process default honors REPRO_BACKEND (the CI serial matrix leg sets
-    it to ``serial``); with the variable unset it is the batched engine.
+    The process default honors REPRO_BACKEND (the CI matrix legs set it to
+    ``serial`` / ``batched-unfused``); with the variable unset it is the
+    batched engine. ``rns_backend()`` names the RNS *kernel*, so both
+    batched variants — fused or not, the fused tier sits above the kernel —
+    report ``batched``.
     """
     import os
 
-    return os.environ.get("REPRO_BACKEND", "batched")
+    from repro.fhe.backend import get_backend
+
+    return get_backend(os.environ.get("REPRO_BACKEND") or "batched").rns_name
 
 
 class TestBackendSwitch:
